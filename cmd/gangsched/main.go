@@ -1,0 +1,116 @@
+// Command gangsched regenerates the paper's evaluation: Figure 1 (the
+// per-class state-transition diagram, as Graphviz DOT) and Figures 2–5
+// (mean population sweeps), plus the ablations documented in DESIGN.md.
+//
+// Usage:
+//
+//	gangsched -fig 2              # analytic curves for Figure 2
+//	gangsched -fig 3 -sim         # with simulation columns
+//	gangsched -fig 1 > fig1.dot   # state diagram (render with graphviz)
+//	gangsched -ablation a5        # policy comparison
+//	gangsched -all                # everything except -sim columns
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (1-5)")
+		ablation  = flag.String("ablation", "", "ablation to run (a1-a6)")
+		all       = flag.Bool("all", false, "run figures 2-5 and all ablations")
+		simulate  = flag.Bool("sim", false, "add simulation columns (slower)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		asciiPlot = flag.Bool("plot", false, "render an ASCII chart under each table")
+		seed      = flag.Int64("seed", 1996, "simulation seed")
+		horizon   = flag.Float64("horizon", 2.2e5, "simulated time horizon")
+		erlangK   = flag.Int("erlang-k", 3, "quantum Erlang stages for -fig 1")
+		selftest  = flag.Bool("selftest", false, "run the closed-form verification anchors")
+	)
+	flag.Parse()
+
+	if *selftest {
+		checks, err := experiments.SelfTest()
+		fail(err)
+		report, ok := experiments.FormatSelfTest(checks)
+		fmt.Print(report)
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
+	opts := experiments.Options{Simulate: *simulate, Seed: *seed, Horizon: *horizon}
+
+	if *fig == 1 {
+		dot, err := core.StateDiagramDOT(core.Figure1Model(*erlangK), 0, nil, 4)
+		fail(err)
+		fmt.Print(dot)
+		return
+	}
+
+	type task struct {
+		name string
+		run  func(experiments.Options) (*experiments.Table, error)
+	}
+	tasks := map[string]task{
+		"2":         {"Figure 2", experiments.Figure2},
+		"3":         {"Figure 3", experiments.Figure3},
+		"4":         {"Figure 4", experiments.Figure4},
+		"5":         {"Figure 5", experiments.Figure5},
+		"a1":        {"Ablation A1", experiments.AblationHeavyVsFixedPoint},
+		"a2":        {"Ablation A2", experiments.AblationFitOrder},
+		"a3":        {"Ablation A3", experiments.AblationQuantumShape},
+		"a4":        {"Ablation A4", experiments.AblationOverhead},
+		"a5":        {"Ablation A5", experiments.PolicyComparison},
+		"a6":        {"Ablation A6", experiments.LocalSwitchComparison},
+		"a7":        {"Ablation A7", experiments.DecompositionError},
+		"a8":        {"Ablation A8", experiments.ArrivalVariability},
+		"transient": {"Transient warmup", experiments.TransientWarmup},
+		"batch":     {"Batch extension", experiments.BatchSensitivity},
+		"scaling":   {"Machine scaling", experiments.MachineScaling},
+	}
+
+	var keys []string
+	switch {
+	case *all:
+		keys = []string{"2", "3", "4", "5", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "a8", "transient", "batch", "scaling"}
+	case *fig != 0:
+		keys = []string{fmt.Sprint(*fig)}
+	case *ablation != "":
+		keys = []string{*ablation}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, k := range keys {
+		tk, ok := tasks[k]
+		if !ok {
+			fail(fmt.Errorf("unknown figure/ablation %q", k))
+		}
+		tab, err := tk.run(opts)
+		fail(err)
+		if *csv {
+			fmt.Print(tab.CSV())
+		} else {
+			fmt.Println(tab.String())
+		}
+		if *asciiPlot {
+			fmt.Println(tab.Chart(0).Render())
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gangsched:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,109 @@
+// Calibration: the paper's model is meant to be driven by measured
+// workloads (§3.2 discusses fitting phase-type distributions to empirical
+// data). This example plays the full loop an operator would run:
+//
+//  1. "measure" interarrival and service samples (here synthesized from a
+//     hidden ground-truth system the operator cannot see);
+//  2. fit phase-type distributions to the samples;
+//  3. solve the fitted model and tune the quantum on it;
+//  4. verify the tuned operating point by simulating the *ground truth*.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	gangsched "repro"
+)
+
+func main() {
+	// Hidden ground truth: bursty interactive class (hyperexponential
+	// service), steady batch class (Erlang service).
+	truth := &gangsched.Model{
+		Processors: 8,
+		Classes: []gangsched.ClassParams{
+			{Partition: 1,
+				Arrival: gangsched.Exponential(2.0),
+				Service: gangsched.HyperExponential([]float64{0.7, 0.3}, []float64{4, 0.5}),
+				Quantum: gangsched.Exponential(1), Overhead: gangsched.Exponential(100)},
+			{Partition: 8,
+				Arrival: gangsched.Erlang(2, 0.25),
+				Service: gangsched.Erlang(3, 1.5),
+				Quantum: gangsched.Exponential(1), Overhead: gangsched.Exponential(100)},
+		},
+	}
+
+	// Step 1: collect "measurements" from the live system.
+	trace, err := gangsched.GenerateWorkload(truth, 2026, 50000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured %d interactive and %d batch jobs\n", trace.Jobs(0), trace.Jobs(1))
+
+	// In lieu of instrumented traces, sample the processes directly.
+	rng := rand.New(rand.NewSource(9))
+	samples := func(d *gangsched.Dist, n int) []float64 {
+		out := make([]float64, n)
+		s := newSampler(d)
+		for i := range out {
+			out[i] = s(rng)
+		}
+		return out
+	}
+
+	// Step 2: fit each distribution from its samples.
+	fitted := &gangsched.Model{Processors: truth.Processors}
+	for p, c := range truth.Classes {
+		arr, err := gangsched.FitEmpirical(samples(c.Arrival, 20000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		svc, err := gangsched.FitEmpirical(samples(c.Service, 20000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("class %d: fitted arrival mean %.3f (true %.3f), service SCV %.2f (true %.2f)\n",
+			p, arr.Mean(), c.Arrival.Mean(), svc.SCV(), c.Service.SCV())
+		fitted.Classes = append(fitted.Classes, gangsched.ClassParams{
+			Partition: c.Partition,
+			Arrival:   arr,
+			Service:   svc,
+			Quantum:   c.Quantum,
+			Overhead:  c.Overhead,
+		})
+	}
+
+	// Step 3: tune the quantum on the fitted model, weighting the
+	// interactive class 4:1.
+	tuned, err := gangsched.TuneQuantum(fitted, gangsched.TuneOptions{Weights: []float64{4, 1}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntuned quantum on fitted model: %.3f (weighted N = %.3f, %d solves)\n",
+		tuned.Quantum, tuned.Objective, tuned.Evaluations)
+
+	// Step 4: validate against the ground truth by simulation.
+	truthTuned := &gangsched.Model{Processors: truth.Processors}
+	for _, c := range truth.Classes {
+		c.Quantum = c.Quantum.WithMean(tuned.Quantum)
+		truthTuned.Classes = append(truthTuned.Classes, c)
+	}
+	res, err := gangsched.Simulate(gangsched.SimConfig{
+		Model: truthTuned, Seed: 3, Warmup: 2e4, Horizon: 2.2e5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("ground-truth simulation at the tuned quantum:")
+	for p, cm := range res.Classes {
+		fmt.Printf("  class %d: N = %.3f ± %.3f, T p50/p95 = %.3f/%.3f\n",
+			p, cm.MeanJobs, cm.MeanJobsCI, cm.ResponseP50, cm.ResponseP95)
+	}
+}
+
+// newSampler adapts the library's exact PH sampler to a closure.
+func newSampler(d *gangsched.Dist) func(*rand.Rand) float64 {
+	s := gangsched.NewSampler(d)
+	return s.Sample
+}

@@ -1,0 +1,87 @@
+// Policy comparison: the paper's introduction argues gang scheduling
+// combines the interactivity of time-sharing with the throughput of
+// space-sharing. This example simulates all three policies (plus the §6
+// local-switching gang variant) on the same workload and shows where each
+// wins.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gangsched "repro"
+)
+
+func workload(rho float64) *gangsched.Model {
+	mu := []float64{0.5, 1, 2, 4}
+	m := &gangsched.Model{Processors: 8}
+	for p := 0; p < 4; p++ {
+		m.Classes = append(m.Classes, gangsched.ClassParams{
+			Partition: 1 << p,
+			Arrival:   gangsched.Exponential(rho),
+			Service:   gangsched.Exponential(mu[p]),
+			Quantum:   gangsched.Exponential(1),
+			Overhead:  gangsched.Exponential(1 / 0.01),
+		})
+	}
+	return m
+}
+
+func main() {
+	alloc := gangsched.EqualShareAllocation(8, []int{1, 2, 4, 8})
+	fmt.Printf("static space-sharing allocation (partitions per class): %v\n", alloc)
+	for p, k := range alloc {
+		if k == 0 {
+			fmt.Printf("  -> class %d needs %d processors and gets no partition: static\n", p, 1<<p)
+			fmt.Println("     space-sharing cannot serve it at all (its column shows 'sat').")
+		}
+	}
+	fmt.Println()
+	fmt.Println("total mean jobs in system by policy (simulated, paper workload mix)")
+	fmt.Printf("%-6s %-12s %-12s %-12s %-12s\n", "rho", "gang", "gang-local", "space", "timeshare")
+	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8} {
+		m := workload(rho)
+		cfg := gangsched.SimConfig{Model: m, Seed: 11, Warmup: 2e4, Horizon: 2.2e5}
+
+		gang, err := gangsched.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		local := cfg
+		local.LocalSwitch = true
+		gangLocal, err := gangsched.Simulate(local)
+		if err != nil {
+			log.Fatal(err)
+		}
+		space, err := gangsched.SimulateSpaceSharing(gangsched.SpaceSimConfig{
+			Config:     cfg,
+			Partitions: alloc,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ts, err := gangsched.SimulateTimeSharing(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.1f %-12s %-12s %-12s %-12s\n",
+			rho, capped(gang.TotalMeanJobs), capped(gangLocal.TotalMeanJobs),
+			capped(space.TotalMeanJobs), capped(ts.TotalMeanJobs))
+	}
+	fmt.Println("\nnotes:")
+	fmt.Println("  - time-sharing runs one job at a time on the whole machine; it wastes")
+	fmt.Println("    space and saturates early.")
+	fmt.Println("  - static space-sharing cannot serve the full-machine class at all in")
+	fmt.Println("    this mix, and cannot shift capacity between the others.")
+	fmt.Println("  - gang scheduling time-shares whole-machine configurations, getting")
+	fmt.Println("    both effects; local switching reclaims idle partitions (§6).")
+}
+
+// capped renders saturated policies (population growing with the horizon)
+// as "sat" instead of a meaningless finite number.
+func capped(n float64) string {
+	if n > 1000 {
+		return "sat"
+	}
+	return fmt.Sprintf("%.3f", n)
+}

@@ -1,0 +1,90 @@
+// SP2 tuning: the paper's stated purpose is to pick quantum lengths for
+// the gang scheduler being built for IBM's SP2 (§1, §5). This example
+// sweeps the quantum length of a four-class SP2-like workload mix, locates
+// each class's knee (the Figures 2–3 minimum), and reports a recommended
+// operating point — using only the analytic model, as an operator would.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	gangsched "repro"
+)
+
+// sp2Mix models a node pool of an SP2: many small interactive jobs, fewer
+// wide batch jobs, with measured (exponential) service demands.
+func sp2Mix(quantum float64) *gangsched.Model {
+	type class struct {
+		g       int
+		lam, mu float64
+	}
+	classes := []class{
+		{1, 0.40, 0.50}, // sequential interactive
+		{2, 0.40, 1.00}, // small parallel
+		{4, 0.40, 2.00}, // medium parallel
+		{8, 0.40, 4.00}, // full-machine
+	}
+	m := &gangsched.Model{Processors: 8}
+	for _, c := range classes {
+		m.Classes = append(m.Classes, gangsched.ClassParams{
+			Partition: c.g,
+			Arrival:   gangsched.Exponential(c.lam),
+			Service:   gangsched.Exponential(c.mu),
+			Quantum:   gangsched.Exponential(1 / quantum),
+			Overhead:  gangsched.Exponential(1 / 0.01),
+		})
+	}
+	return m
+}
+
+func main() {
+	sweep := []float64{0.05, 0.1, 0.2, 0.35, 0.5, 0.75, 1, 1.5, 2, 3, 4, 6}
+	fmt.Println("quantum   totalN   maxT      (per-class N)")
+
+	bestQ, bestN := 0.0, math.Inf(1)
+	for _, q := range sweep {
+		m := sp2Mix(q)
+		res, err := gangsched.Solve(m, gangsched.SolveOptions{})
+		if err != nil {
+			fmt.Printf("%-9.2f unstable (%v)\n", q, err)
+			continue
+		}
+		maxT := 0.0
+		ns := make([]float64, len(res.Classes))
+		for p, cr := range res.Classes {
+			ns[p] = cr.N
+			if cr.T > maxT {
+				maxT = cr.T
+			}
+		}
+		fmt.Printf("%-9.2f %-8.3f %-9.3f %v\n", q, res.TotalN, maxT, fmtSlice(ns))
+		if res.TotalN < bestN {
+			bestN, bestQ = res.TotalN, q
+		}
+	}
+
+	fmt.Printf("\nrecommended quantum ≈ %.2f (total N = %.3f)\n", bestQ, bestN)
+
+	// Confirm the recommendation holds up in simulation.
+	m := sp2Mix(bestQ)
+	sres, err := gangsched.Simulate(gangsched.SimConfig{
+		Model: m, Seed: 2, Warmup: 2e4, Horizon: 2.2e5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated at the recommendation: total N = %.3f\n", sres.TotalMeanJobs)
+}
+
+func fmtSlice(xs []float64) string {
+	s := "["
+	for i, x := range xs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.2f", x)
+	}
+	return s + "]"
+}

@@ -1,0 +1,179 @@
+package gangsched
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func newBenchRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func demoModel() *Model {
+	return &Model{
+		Processors: 8,
+		Classes: []ClassParams{
+			{Partition: 2, Arrival: Exponential(0.8), Service: Exponential(1),
+				Quantum: Exponential(1), Overhead: Exponential(1 / 0.01)},
+			{Partition: 8, Arrival: Exponential(0.3), Service: Exponential(1),
+				Quantum: Exponential(1), Overhead: Exponential(1 / 0.01)},
+		},
+	}
+}
+
+func TestPublicSolve(t *testing.T) {
+	res, err := Solve(demoModel(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("fixed point did not converge")
+	}
+	for p, cr := range res.Classes {
+		if !cr.Stable || cr.N <= 0 || cr.T <= 0 {
+			t.Fatalf("class %d: %+v", p, cr)
+		}
+	}
+}
+
+func TestPublicSolveHeavyTrafficUpperBounds(t *testing.T) {
+	m := demoModel()
+	ht, err := SolveHeavyTraffic(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range fp.Classes {
+		if fp.Classes[p].N > ht.Classes[p].N+1e-9 {
+			t.Fatalf("class %d: fixed point above heavy-traffic bound", p)
+		}
+	}
+}
+
+func TestPublicSimulateAgreesWithSolve(t *testing.T) {
+	// Validate at substantial load (ρ = 0.85), where the Theorem 4.3
+	// decomposition is accurate; light-load accuracy bounds live in the
+	// internal/sim cross-validation tests.
+	m := demoModel()
+	m.Classes[0].Arrival = Exponential(1.4) // ρ₀ = 0.35
+	m.Classes[1].Arrival = Exponential(0.5) // ρ₁ = 0.50
+	ana, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simr, err := Simulate(SimConfig{Model: m, Seed: 4, Warmup: 2e4, Horizon: 3.2e5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range ana.Classes {
+		a, s := ana.Classes[p].N, simr.Classes[p].MeanJobs
+		if math.Abs(a-s)/s > 0.30 {
+			t.Fatalf("class %d: analytic %g vs simulated %g", p, a, s)
+		}
+	}
+}
+
+func TestPublicBaselines(t *testing.T) {
+	m := demoModel()
+	cfg := SimConfig{Model: m, Seed: 9, Warmup: 5e3, Horizon: 5.5e4}
+	if _, err := SimulateTimeSharing(cfg); err != nil {
+		t.Fatal(err)
+	}
+	alloc := EqualShareAllocation(8, []int{2, 8})
+	// The demo mix cannot give class 1 a partition alongside class 0's:
+	// verify allocation respects the machine size.
+	used := alloc[0]*2 + alloc[1]*8
+	if used > 8 {
+		t.Fatalf("allocation %v uses %d processors", alloc, used)
+	}
+	if _, err := SimulateSpaceSharing(SpaceSimConfig{Config: cfg, Partitions: alloc}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicStateDiagram(t *testing.T) {
+	dot, err := StateDiagramDOT(demoModel(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "level 0") {
+		t.Fatalf("DOT missing structure:\n%s", dot[:200])
+	}
+}
+
+func TestPublicDistributionHelpers(t *testing.T) {
+	if d := Erlang(4, 2); math.Abs(d.Mean()-0.5) > 1e-12 {
+		t.Fatalf("Erlang mean %g", d.Mean())
+	}
+	if d := HyperExponential([]float64{0.5, 0.5}, []float64{1, 2}); d.SCV() <= 1 {
+		t.Fatalf("H2 SCV %g", d.SCV())
+	}
+	if d := Coxian([]float64{1, 2}, []float64{0.5}); d.Order() != 2 {
+		t.Fatal("Coxian order")
+	}
+	d, err := FitMeanSCV(2, 3)
+	if err != nil || math.Abs(d.Mean()-2) > 1e-9 {
+		t.Fatalf("fit: %v %v", d, err)
+	}
+}
+
+func TestPublicExactTwoClass(t *testing.T) {
+	m := demoModel()
+	ex, err := SolveExactTwoClass(m, ExactTwoClassOptions{Truncation: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 2; p++ {
+		if ex.N[p] <= 0 {
+			t.Fatalf("exact N%d = %g", p, ex.N[p])
+		}
+		// Decomposition below exact (documented bias).
+		if fp.Classes[p].N > ex.N[p]*1.02 {
+			t.Fatalf("class %d: fixed %g above exact %g", p, fp.Classes[p].N, ex.N[p])
+		}
+	}
+	if ex.Residual > 1e-8 || ex.TruncationMass > 1e-5 {
+		t.Fatalf("exact diagnostics: %+v", ex)
+	}
+}
+
+func TestPublicQueueLengthDist(t *testing.T) {
+	res, err := Solve(demoModel(), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := res.Classes[0].QueueLengthDist(60)
+	var mass float64
+	for _, q := range dist {
+		if q < 0 {
+			t.Fatalf("negative probability %g", q)
+		}
+		mass += q
+	}
+	if math.Abs(mass-1) > 1e-6 {
+		t.Fatalf("distribution mass %g", mass)
+	}
+	if tp := res.Classes[0].TailProb(0); math.Abs(tp-1) > 1e-9 {
+		t.Fatalf("TailProb(0) = %g", tp)
+	}
+}
+
+func TestPublicUnstable(t *testing.T) {
+	m := &Model{
+		Processors: 2,
+		Classes: []ClassParams{{
+			Partition: 2, Arrival: Exponential(5), Service: Exponential(1),
+			Quantum: Exponential(1), Overhead: Exponential(100),
+		}},
+	}
+	if _, err := Solve(m, SolveOptions{}); err != ErrAllUnstable {
+		t.Fatalf("err = %v, want ErrAllUnstable", err)
+	}
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phase"
+)
+
+// batchModel builds a single-class model with constant batches of the
+// given size on one full-machine partition.
+func batchModel(procs, g int, lambdaEpoch, mu float64, batch []float64, quantum, overhead float64) *Model {
+	return &Model{
+		Processors: procs,
+		Classes: []ClassParams{{
+			Partition: g,
+			Arrival:   phase.Exponential(lambdaEpoch),
+			Service:   phase.Exponential(mu),
+			Quantum:   phase.Exponential(1 / quantum),
+			Overhead:  phase.Exponential(1 / overhead),
+			Batch:     batch,
+		}},
+	}
+}
+
+func TestBatchDegenerateMatchesSingle(t *testing.T) {
+	// Batch = {1} must reproduce the single-arrival solution exactly.
+	single := batchModel(4, 2, 0.8, 1.0, nil, 1, 0.01)
+	batch1 := batchModel(4, 2, 0.8, 1.0, []float64{1}, 1, 0.01)
+	rs, err := Solve(single, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Solve(batch1, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rs.Classes[0].N-rb.Classes[0].N) > 1e-6 {
+		t.Fatalf("batch {1} N = %g, single N = %g", rb.Classes[0].N, rs.Classes[0].N)
+	}
+}
+
+func TestBatchMXM1ClosedForm(t *testing.T) {
+	// One full-machine partition, huge quantum, negligible overhead:
+	// M^[X]/M/1. For constant batch size K at job-level utilization ρ,
+	// the mean population is L = ρ/(1−ρ)·(K+1)/2 + ρ·0 …, precisely
+	// L = ρ(K+1)/(2(1−ρ)) for exponential service.
+	for _, k := range []int{2, 3} {
+		batch := make([]float64, k)
+		batch[k-1] = 1 // constant size k
+		rho := 0.7
+		lambdaEpoch := rho / float64(k) // job rate = rho, service rate 1
+		m := batchModel(2, 2, lambdaEpoch, 1.0, batch, 1e7, 1e-4)
+		res, err := Solve(m, SolveOptions{})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := rho * float64(k+1) / (2 * (1 - rho))
+		got := res.Classes[0].N
+		if math.Abs(got-want)/want > 0.02 {
+			t.Fatalf("k=%d: N = %g, M^[X]/M/1 closed form %g", k, got, want)
+		}
+	}
+}
+
+func TestBatchGeometricMix(t *testing.T) {
+	// A mixed batch distribution {1 w.p. 0.5, 2 w.p. 0.3, 3 w.p. 0.2}:
+	// E[X] = 1.7, E[X²] = 3.5. M^[X]/M/1:
+	// L = ρ/(1−ρ) + ρ·(E[X²]−E[X])/(2·E[X]·(1−ρ)).
+	batch := []float64{0.5, 0.3, 0.2}
+	ex, ex2 := 1.7, 0.5+4*0.3+9*0.2
+	rho := 0.6
+	lambdaEpoch := rho / ex
+	m := batchModel(2, 2, lambdaEpoch, 1.0, batch, 1e7, 1e-4)
+	res, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rho/(1-rho) + rho*(ex2-ex)/(2*ex*(1-rho))
+	got := res.Classes[0].N
+	if math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("N = %g, closed form %g", got, want)
+	}
+}
+
+func TestBatchArrivalRateIncludesBatch(t *testing.T) {
+	m := batchModel(4, 2, 0.5, 1.0, []float64{0, 1}, 1, 0.01)
+	if math.Abs(m.ArrivalRate(0)-1.0) > 1e-12 {
+		t.Fatalf("job rate = %g, want 1.0 (0.5 epochs × batch 2)", m.ArrivalRate(0))
+	}
+	if math.Abs(m.ClassUtilization(0)-0.5) > 1e-12 {
+		t.Fatalf("rho = %g, want 0.5", m.ClassUtilization(0))
+	}
+}
+
+func TestBatchValidate(t *testing.T) {
+	m := batchModel(4, 2, 0.5, 1.0, []float64{0.5, 0.4}, 1, 0.01)
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected batch-mass error")
+	}
+	m2 := batchModel(4, 2, 0.5, 1.0, []float64{1.2, -0.2}, 1, 0.01)
+	if err := m2.Validate(); err == nil {
+		t.Fatal("expected negative-probability error")
+	}
+}
+
+func TestBatchMultiPartitionGangModel(t *testing.T) {
+	// Batches on a multi-partition class with real gang dynamics: solve,
+	// check basic physics, and verify batching at equal job rate raises N
+	// versus single arrivals.
+	mk := func(batch []float64, lambdaEpoch float64) *Model {
+		return &Model{
+			Processors: 4,
+			Classes: []ClassParams{
+				{Partition: 2, Arrival: phase.Exponential(lambdaEpoch),
+					Service: phase.Exponential(1), Quantum: phase.Exponential(1),
+					Overhead: phase.Exponential(100), Batch: batch},
+				{Partition: 4, Arrival: phase.Exponential(0.3),
+					Service: phase.Exponential(1), Quantum: phase.Exponential(1),
+					Overhead: phase.Exponential(100)},
+			},
+		}
+	}
+	single, err := Solve(mk(nil, 0.8), SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := Solve(mk([]float64{0, 0, 1}, 0.8/3), SolveOptions{}) // batches of 3
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mk(nil, 0.8).ArrivalRate(0)-mk([]float64{0, 0, 1}, 0.8/3).ArrivalRate(0)) > 1e-12 {
+		t.Fatal("job rates differ")
+	}
+	if batched.Classes[0].N <= single.Classes[0].N {
+		t.Fatalf("batching should raise N: %g vs %g", batched.Classes[0].N, single.Classes[0].N)
+	}
+	// Mass and Little checks on the batched solution.
+	cr := batched.Classes[0]
+	dist := cr.QueueLengthDist(80)
+	var mass, mean float64
+	for n, q := range dist {
+		mass += q
+		mean += float64(n) * q
+	}
+	if math.Abs(mass-1) > 1e-6 {
+		t.Fatalf("level distribution mass %g", mass)
+	}
+	if math.Abs(mean-cr.N) > 1e-4*(1+cr.N) {
+		t.Fatalf("level-dist mean %g vs N %g", mean, cr.N)
+	}
+	if math.Abs(cr.T-cr.N/0.8) > 1e-9*(1+cr.T) {
+		t.Fatalf("Little violated for batch class")
+	}
+}
+
+func TestBatchPhaseTypeServiceSolves(t *testing.T) {
+	// Batches with Erlang-2 service exercise the multinomial entry logic.
+	m := &Model{
+		Processors: 4,
+		Classes: []ClassParams{{
+			Partition: 2,
+			Arrival:   phase.Exponential(0.3),
+			Service:   phase.Erlang(2, 1),
+			Quantum:   phase.Exponential(1),
+			Overhead:  phase.Exponential(100),
+			Batch:     []float64{0.5, 0.5},
+		}},
+	}
+	res, err := Solve(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Classes[0].Stable || res.Classes[0].N <= 0 {
+		t.Fatalf("batched PH-service solve wrong: %+v", res.Classes[0])
+	}
+}
+
+func TestMultinomialProb(t *testing.T) {
+	beta := []float64{0.3, 0.7}
+	// Two jobs: (2,0) w.p. 0.09, (1,1) w.p. 2·0.21 = 0.42, (0,2) w.p. 0.49.
+	cases := map[[2]int]float64{{2, 0}: 0.09, {1, 1}: 0.42, {0, 2}: 0.49}
+	var total float64
+	for v, want := range cases {
+		got := multinomialProb([]int{v[0], v[1]}, beta)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("multinomial(%v) = %g, want %g", v, got, want)
+		}
+		total += got
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("multinomial mass %g", total)
+	}
+}

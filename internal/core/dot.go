@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/phase"
+)
+
+// StateDiagramDOT renders the class-p Markov chain {X_p(t)} as a Graphviz
+// DOT digraph over levels 0..maxLevel — the generalization of the paper's
+// Figure 1 (which shows the special case of Poisson arrivals, exponential
+// service, exponential overheads, an Erlang-K quantum and 3 servers).
+// States are labeled (i | a, j, k) and grouped by level; edge labels carry
+// the transition rates.
+func StateDiagramDOT(m *Model, p int, intervisit *phase.Dist, maxLevel int) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if p < 0 || p >= len(m.Classes) {
+		return "", fmt.Errorf("core: class %d outside [0, %d)", p, len(m.Classes))
+	}
+	if intervisit == nil {
+		intervisit = HeavyTrafficIntervisit(m, p)
+	}
+	if _, err := BuildClassChain(m, p, intervisit); err != nil {
+		return "", err
+	}
+	sp := newClassSpace(m, p, intervisit)
+	if maxLevel < 1 {
+		maxLevel = sp.servers + 1
+	}
+
+	var b strings.Builder
+	b.WriteString("digraph classchain {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=ellipse, fontsize=10];\n")
+	name := func(level int, st classState) string {
+		lv := level
+		if lv > sp.servers {
+			lv = sp.servers
+		}
+		return fmt.Sprintf("L%d_%d", level, sp.stateIndex(lv, st))
+	}
+	label := func(level int, st classState) string {
+		kind := "G"
+		idx := st.k
+		if !sp.inQuantum(st.k) {
+			kind = "F"
+			idx = st.k - sp.mG
+		}
+		return fmt.Sprintf("i=%d a=%d j=%v %s%d", level, st.a, st.j, kind, idx)
+	}
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		src := lvl
+		if src > sp.servers {
+			src = sp.servers
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_level%d {\n    label=\"level %d\";\n", lvl, lvl)
+		for _, st := range sp.levels[src] {
+			fmt.Fprintf(&b, "    %s [label=\"%s\"];\n", name(lvl, st), label(lvl, st))
+		}
+		b.WriteString("  }\n")
+	}
+	// Accumulate edges (merging parallel transitions).
+	type edge struct{ from, to string }
+	rates := make(map[edge]float64)
+	for lvl := 0; lvl <= maxLevel; lvl++ {
+		src := lvl
+		if src > sp.servers {
+			src = sp.servers
+		}
+		for _, st := range sp.levels[src] {
+			from := name(lvl, st)
+			sp.emit(lvl, st, func(destLevel int, dest classState, rate float64) {
+				if rate == 0 || destLevel > maxLevel {
+					return
+				}
+				to := name(destLevel, dest)
+				if to == from {
+					return
+				}
+				rates[edge{from, to}] += rate
+			})
+		}
+	}
+	keys := make([]edge, 0, len(rates))
+	for e := range rates {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+	for _, e := range keys {
+		fmt.Fprintf(&b, "  %s -> %s [label=\"%.4g\", fontsize=8];\n", e.from, e.to, rates[e])
+	}
+	b.WriteString("}\n")
+	return b.String(), nil
+}
+
+// Figure1Model returns the configuration of the paper's Figure 1: Poisson
+// arrivals, exponential service, a single exponential context-switch phase,
+// a K-stage Erlang quantum, and 3 servers (P = 3, g = 1).
+func Figure1Model(k int) *Model {
+	return &Model{
+		Processors: 3,
+		Classes: []ClassParams{
+			{
+				Partition: 1,
+				Arrival:   phase.Exponential(0.5),
+				Service:   phase.Exponential(1),
+				Quantum:   phase.Erlang(k, 1),
+				Overhead:  phase.Exponential(100),
+			},
+			{
+				Partition: 3,
+				Arrival:   phase.Exponential(0.2),
+				Service:   phase.Exponential(1),
+				Quantum:   phase.Exponential(1),
+				Overhead:  phase.Exponential(100),
+			},
+		},
+	}
+}

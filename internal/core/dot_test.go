@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/phase"
+)
+
+func TestStateDiagramDOTStructure(t *testing.T) {
+	m := Figure1Model(3)
+	dot, err := StateDiagramDOT(m, 0, nil, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"digraph classchain",
+		"cluster_level0",
+		"cluster_level3",
+		"G0", "G2", // Erlang-3 quantum stages
+		"F0", // intervisit phases
+		"->",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Fatalf("DOT missing %q", want)
+		}
+	}
+	// Level 0 must not contain quantum-phase states (empty class skips its
+	// slice), and early-switch edges L1 -> L0 must exist.
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "L0_") && strings.Contains(line, "label=\"i=0") &&
+			strings.Contains(line, " G") {
+			t.Fatalf("level-0 state in a quantum phase: %s", line)
+		}
+	}
+	if !strings.Contains(dot, "L1_") {
+		t.Fatal("no level-1 states")
+	}
+	foundEarlySwitch := false
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "L1_") && strings.Contains(line, "-> L0_") {
+			foundEarlySwitch = true
+		}
+	}
+	if !foundEarlySwitch {
+		t.Fatal("no early-switch edge from level 1 to level 0")
+	}
+}
+
+func TestStateDiagramDOTDefaultIntervisit(t *testing.T) {
+	m := Figure1Model(2)
+	// nil intervisit uses the Theorem 4.1 heavy-traffic construction.
+	dot, err := StateDiagramDOT(m, 1, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dot, "digraph") {
+		t.Fatal("no digraph emitted")
+	}
+}
+
+func TestStateDiagramDOTCustomIntervisit(t *testing.T) {
+	m := Figure1Model(2)
+	dot, err := StateDiagramDOT(m, 0, phase.Exponential(0.5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential intervisit: exactly one F phase.
+	if strings.Contains(dot, "F1") {
+		t.Fatal("unexpected second intervisit phase")
+	}
+}
+
+func TestStateDiagramDOTInvalidModel(t *testing.T) {
+	if _, err := StateDiagramDOT(&Model{}, 0, nil, 2); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestFigure1ModelShape(t *testing.T) {
+	m := Figure1Model(4)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Processors != 3 || m.Servers(0) != 3 {
+		t.Fatalf("Figure 1 geometry wrong: P=%d servers=%d", m.Processors, m.Servers(0))
+	}
+	if m.Classes[0].Quantum.Order() != 4 {
+		t.Fatalf("quantum order %d, want 4", m.Classes[0].Quantum.Order())
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/phase"
+	"repro/internal/qbd"
+)
+
+// EffectiveQuantum is the Theorem 4.3 object: the distribution of the time
+// class p actually holds the machine per timeplexing cycle, accounting for
+// early switches when its queue empties — including an atom at zero for
+// cycles that find the queue empty (the scheduler skips the class).
+type EffectiveQuantum struct {
+	// Atom is the probability the quantum has length zero (queue empty at
+	// the start of the class's slice).
+	Atom float64
+	// Moments holds the first three raw moments of the quantum length,
+	// atom included.
+	Moments [3]float64
+	// Exact is the exact truncated phase-type representation, built over
+	// the service states of the solved chain (paper's Q_b^p construction).
+	Exact *phase.Dist
+}
+
+// Mean returns E[quantum] including the atom.
+func (e *EffectiveQuantum) Mean() float64 { return e.Moments[0] }
+
+// ConditionalMean returns E[quantum | quantum > 0].
+func (e *EffectiveQuantum) ConditionalMean() float64 {
+	if e.Atom >= 1 {
+		return 0
+	}
+	return e.Moments[0] / (1 - e.Atom)
+}
+
+// ConditionalSCV returns the squared coefficient of variation of the
+// quantum conditioned on it being positive.
+func (e *EffectiveQuantum) ConditionalSCV() float64 {
+	p := 1 - e.Atom
+	if p <= 0 {
+		return 0
+	}
+	m1 := e.Moments[0] / p
+	m2 := e.Moments[1] / p
+	return m2/(m1*m1) - 1
+}
+
+// ExtractEffectiveQuantum builds the effective-quantum distribution of
+// class p from its solved per-class chain, following Theorem 4.3:
+//
+//  1. The start-of-quantum distribution ξ_p weights each state by the
+//     steady-state rate at which the intervisit period ends there.
+//     Intervisit endings at level 0 contribute the atom at zero.
+//  2. The chain restricted to service states (levels ≥ 1, quantum cycle
+//     phases), with every exit — quantum expiry, queue emptying — made
+//     absorbing, is the subgenerator Q_b^p; the time to absorption from
+//     ξ_p is the effective quantum.
+//
+// The infinite level space is truncated at the first level whose stationary
+// tail mass drops below tailEps (clamped to [boundary+2, boundary+cap]);
+// arrivals at the truncation level are reflected.
+func ExtractEffectiveQuantum(ch *ClassChain, sol *qbd.Solution, tailEps float64, cap int) (*EffectiveQuantum, error) {
+	if tailEps <= 0 {
+		tailEps = 1e-10
+	}
+	if cap <= 0 {
+		cap = 400
+	}
+	sp := ch.space
+	b := sp.servers
+	k := b + 2
+	for k < b+cap && ch.physicalTailBound(sol, k) > tailEps {
+		k++
+	}
+
+	// Index the transient (service) states: (level 1..k, quantum phase).
+	type tkey struct {
+		level int
+		idx   int // state index within the level's space
+	}
+	var order []tkey
+	pos := make(map[tkey]int)
+	for lev := 1; lev <= k; lev++ {
+		for idx, st := range sp.levels[min(lev, b)] {
+			if sp.inQuantum(st.k) {
+				key := tkey{lev, idx}
+				pos[key] = len(order)
+				order = append(order, key)
+			}
+		}
+	}
+	nt := len(order)
+	if nt == 0 {
+		return nil, fmt.Errorf("core: class has no service states (quantum of order 0?)")
+	}
+
+	// Build the subgenerator T: transitions between service states keep
+	// their rates; everything else is absorption. Transitions up from the
+	// truncation level are reflected (dropped without entering the
+	// diagonal), the standard finite-buffer truncation.
+	t := matrix.New(nt, nt)
+	for row, key := range order {
+		st := sp.levels[min(key.level, b)][key.idx]
+		var total float64
+		sp.emit(key.level, st, func(destLevel int, dest classState, rate float64) {
+			if rate == 0 {
+				return
+			}
+			if destLevel > k { // reflect at the truncation boundary
+				return
+			}
+			total += rate
+			if destLevel >= 1 && sp.inQuantum(dest.k) {
+				col := pos[tkey{destLevel, sp.stateIndex(destLevel, dest)}]
+				if col != row {
+					t.Add(row, col, rate)
+				} else {
+					total -= rate // self-transition: no effect
+				}
+			}
+			// Otherwise the transition leaves the service set: absorption.
+		})
+		t.Add(row, row, -total)
+	}
+
+	// Start-of-quantum weights ξ: intervisit endings, level by level.
+	init := make([]float64, nt)
+	var atomW, totalW float64
+	alphaG := sp.quantum.Alpha
+	sf0 := sp.intervisit.ExitVector()
+	for lev := 0; lev <= k; lev++ {
+		pi := ch.PhysicalLevel(sol, lev)
+		for idx, st := range sp.levels[min(lev, b)] {
+			if sp.inQuantum(st.k) {
+				continue
+			}
+			w := pi[idx] * sf0[st.k-sp.mG]
+			if w == 0 {
+				continue
+			}
+			totalW += w
+			if lev == 0 {
+				atomW += w
+				continue
+			}
+			for g := 0; g < sp.mG; g++ {
+				if alphaG[g] == 0 {
+					continue
+				}
+				dest := classState{a: st.a, j: st.j, k: g}
+				init[pos[tkey{lev, sp.stateIndex(lev, dest)}]] += w * alphaG[g]
+			}
+		}
+	}
+	if totalW <= 0 {
+		return nil, fmt.Errorf("core: no intervisit endings observed in steady state")
+	}
+	matrix.ScaleVec(1/totalW, init)
+	atom := atomW / totalW
+
+	chain, err := markov.NewAbsorbingChain(t)
+	if err != nil {
+		return nil, fmt.Errorf("core: effective-quantum chain: %w", err)
+	}
+	ms := chain.AbsorptionMoments(init, 3)
+
+	eq := &EffectiveQuantum{Atom: atom}
+	copy(eq.Moments[:], ms)
+	eq.Exact = &phase.Dist{Alpha: init, S: t}
+	return eq, nil
+}
+
+// ReducedDist returns a small-order phase-type stand-in for the effective
+// quantum: a two-moment fit of the conditional (positive-part)
+// distribution, with the atom at zero folded into a deficient initial
+// vector. maxOrder caps the Erlang order used for low-variability fits.
+func (e *EffectiveQuantum) ReducedDist(maxOrder int) (*phase.Dist, error) {
+	if maxOrder < 2 {
+		maxOrder = 2
+	}
+	p := 1 - e.Atom
+	if p <= 1e-12 {
+		// Degenerate: the class essentially never has work at its slice.
+		// Represent as a tiny atom-complement exponential.
+		d := phase.Exponential(1 / 1e-9)
+		d.Alpha[0] = 1e-12
+		return d, nil
+	}
+	m1 := e.Moments[0] / p
+	m2 := e.Moments[1] / p
+	scv := m2/(m1*m1) - 1
+	var d *phase.Dist
+	var err error
+	switch {
+	case scv <= 0 || 1/scv > float64(maxOrder):
+		// Cap the order; match the mean exactly, variance approximately.
+		d = phase.Erlang(maxOrder, 1/m1)
+	default:
+		d, err = phase.FitMeanSCV(m1, scv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	matrix.ScaleVec(p, d.Alpha)
+	return d, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+)
+
+// ExactTwoClassResult is the stationary solution of the *joint* two-class
+// chain — the "exact solution … when it is operating in the
+// non-heavy-traffic regime" that the paper defers to an extended version
+// (§4.3, footnote 2). Solving the global chain retains the cross-class
+// correlation the per-class decomposition discards, so comparing the two
+// quantifies the Theorem 4.3 approximation error exactly.
+type ExactTwoClassResult struct {
+	// N holds the exact mean populations per class.
+	N [2]float64
+	// T holds the exact mean response times (Little's law).
+	T [2]float64
+	// States is the size of the truncated global state space.
+	States int
+	// Residual is ‖πQ‖∞ of the computed stationary vector.
+	Residual float64
+	// TruncationMass bounds the probability at the truncation edge.
+	TruncationMass float64
+}
+
+// ExactTwoClassOptions tune the global solve.
+type ExactTwoClassOptions struct {
+	// Truncation caps each class's population (default 120).
+	Truncation int
+	// Tol is the Gauss–Seidel relative-change stopping rule (default 1e-11).
+	Tol float64
+	// MaxSweeps bounds the iteration (default 50000).
+	MaxSweeps int
+}
+
+// SolveExactTwoClass solves the joint CTMC of a two-class gang model with
+// exponential interarrival, service, quantum and overhead distributions
+// and single arrivals. The global state is (n₀, n₁, phase) with phase in
+// {class 0 running, switching 0→1, class 1 running, switching 1→0};
+// running phases require the running class to be non-empty (early switch
+// and empty-class skipping are folded into the transition structure, as
+// in §3.1). The chain is solved sparsely by Gauss–Seidel.
+func SolveExactTwoClass(m *Model, opts ExactTwoClassOptions) (*ExactTwoClassResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.Classes) != 2 {
+		return nil, fmt.Errorf("core: exact solver requires exactly 2 classes, have %d", len(m.Classes))
+	}
+	for p, c := range m.Classes {
+		if c.Arrival.Order() != 1 || c.Service.Order() != 1 || c.Quantum.Order() != 1 || c.Overhead.Order() != 1 {
+			return nil, fmt.Errorf("core: exact solver requires exponential parameters (class %d)", p)
+		}
+		if c.MaxBatch() != 1 {
+			return nil, fmt.Errorf("core: exact solver does not support batch arrivals (class %d)", p)
+		}
+	}
+	if opts.Truncation <= 0 {
+		opts.Truncation = 120
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-11
+	}
+	if opts.MaxSweeps <= 0 {
+		opts.MaxSweeps = 50000
+	}
+	k := opts.Truncation
+
+	lam := [2]float64{m.Classes[0].Arrival.Rate(), m.Classes[1].Arrival.Rate()}
+	mu := [2]float64{m.Classes[0].Service.Rate(), m.Classes[1].Service.Rate()}
+	gam := [2]float64{m.Classes[0].Quantum.Rate(), m.Classes[1].Quantum.Rate()}
+	del := [2]float64{m.Classes[0].Overhead.Rate(), m.Classes[1].Overhead.Rate()}
+	cap := [2]int{m.Servers(0), m.Servers(1)}
+
+	// Phases: 0 = G0 (class 0 running), 1 = C0 (switch 0→1),
+	//         2 = G1 (class 1 running), 3 = C1 (switch 1→0).
+	const (
+		phG0 = iota
+		phC0
+		phG1
+		phC1
+	)
+	// Index the reachable states: G_p requires n_p ≥ 1.
+	type gstate struct{ n0, n1, ph int }
+	var states []gstate
+	index := make(map[gstate]int)
+	for ph := 0; ph < 4; ph++ {
+		for n0 := 0; n0 <= k; n0++ {
+			if ph == phG0 && n0 == 0 {
+				continue
+			}
+			for n1 := 0; n1 <= k; n1++ {
+				if ph == phG1 && n1 == 0 {
+					continue
+				}
+				s := gstate{n0, n1, ph}
+				index[s] = len(states)
+				states = append(states, s)
+			}
+		}
+	}
+	n := len(states)
+	coo := matrix.NewCOO(n, n) // transposed: (dest, src)
+	diag := make([]float64, n)
+	add := func(src int, dst gstate, rate float64) {
+		if rate == 0 {
+			return
+		}
+		j, ok := index[dst]
+		if !ok {
+			panic(fmt.Sprintf("core: exact chain reached unindexed state %+v", dst))
+		}
+		coo.Add(j, src, rate)
+		diag[src] -= rate
+	}
+
+	for si, s := range states {
+		// Arrivals (reflected at the truncation edge).
+		if s.n0 < k {
+			add(si, gstate{s.n0 + 1, s.n1, s.ph}, lam[0])
+		}
+		if s.n1 < k {
+			add(si, gstate{s.n0, s.n1 + 1, s.ph}, lam[1])
+		}
+		switch s.ph {
+		case phG0:
+			rate := float64(min(s.n0, cap[0])) * mu[0]
+			if s.n0 == 1 {
+				add(si, gstate{0, s.n1, phC0}, rate) // early switch
+			} else {
+				add(si, gstate{s.n0 - 1, s.n1, phG0}, rate)
+			}
+			add(si, gstate{s.n0, s.n1, phC0}, gam[0]) // quantum expiry
+		case phC0:
+			if s.n1 > 0 {
+				add(si, gstate{s.n0, s.n1, phG1}, del[0])
+			} else {
+				add(si, gstate{s.n0, s.n1, phC1}, del[0]) // skip empty class 1
+			}
+		case phG1:
+			rate := float64(min(s.n1, cap[1])) * mu[1]
+			if s.n1 == 1 {
+				add(si, gstate{s.n0, 0, phC1}, rate)
+			} else {
+				add(si, gstate{s.n0, s.n1 - 1, phG1}, rate)
+			}
+			add(si, gstate{s.n0, s.n1, phC1}, gam[1])
+		case phC1:
+			if s.n0 > 0 {
+				add(si, gstate{s.n0, s.n1, phG0}, del[1])
+			} else {
+				add(si, gstate{s.n0, s.n1, phC0}, del[1])
+			}
+		}
+	}
+
+	qt := coo.ToCSR()
+	pi, err := markov.StationarySparse(qt, diag, opts.Tol, opts.MaxSweeps)
+	if err != nil {
+		return nil, fmt.Errorf("core: exact two-class solve: %w", err)
+	}
+	res := &ExactTwoClassResult{
+		States:   n,
+		Residual: markov.SparseResidual(qt, diag, pi),
+	}
+	for si, s := range states {
+		res.N[0] += float64(s.n0) * pi[si]
+		res.N[1] += float64(s.n1) * pi[si]
+		if s.n0 == k || s.n1 == k {
+			res.TruncationMass += pi[si]
+		}
+	}
+	res.T[0] = res.N[0] / lam[0]
+	res.T[1] = res.N[1] / lam[1]
+	return res, nil
+}

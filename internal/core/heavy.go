@@ -1,0 +1,39 @@
+package core
+
+import "repro/internal/phase"
+
+// HeavyTrafficIntervisit builds the class-p intervisit distribution of
+// Theorem 4.1: when every class has enough work to exhaust its quantum,
+// the time between the end of one class-p slice and the start of the next
+// is the convolution
+//
+//	F_p = C_p * G_{p+1} * C_{p+1} * … * G_{p+L−1} * C_{p+L−1}   (indices mod L)
+//
+// of the own switch-out overhead and every other class's full quantum and
+// overhead. With L = 1 the intervisit degenerates to C_0 alone.
+func HeavyTrafficIntervisit(m *Model, p int) *phase.Dist {
+	return IntervisitFrom(m, p, nominalQuanta(m))
+}
+
+// IntervisitFrom builds F_p from arbitrary per-class effective-quantum
+// distributions (Theorem 4.3 uses this with the absorbing-chain quanta of
+// the fixed-point iteration; Theorem 4.1 is the special case where each
+// effective quantum is the nominal G_q).
+func IntervisitFrom(m *Model, p int, quanta []*phase.Dist) *phase.Dist {
+	l := len(m.Classes)
+	parts := []*phase.Dist{m.Classes[p].Overhead}
+	for off := 1; off < l; off++ {
+		q := (p + off) % l
+		parts = append(parts, quanta[q], m.Classes[q].Overhead)
+	}
+	return phase.ConvolveAll(parts...)
+}
+
+// nominalQuanta returns each class's full quantum distribution G_q.
+func nominalQuanta(m *Model) []*phase.Dist {
+	qs := make([]*phase.Dist, len(m.Classes))
+	for q := range m.Classes {
+		qs[q] = m.Classes[q].Quantum
+	}
+	return qs
+}

@@ -1,0 +1,179 @@
+// Package core implements the paper's primary contribution: the queueing
+// model of gang scheduling from "An Analysis of Gang Scheduling for
+// Multiprogrammed Parallel Computing Environments" (Squillante, Wang,
+// Papaefthymiou; SPAA 1996).
+//
+// A system of P identical processors serves L job classes. Class p runs
+// jobs on partitions of g(p) processors (so P/g(p) jobs space-share during
+// its time slice) and the classes time-share the machine in a rotating
+// timeplexing cycle with per-class quantum distribution G_p and
+// context-switch overhead C_p (paper §3). The package builds, for each
+// class, the quasi-birth-death process of §4.1, solves it with the
+// matrix-geometric machinery in internal/qbd, constructs the heavy-traffic
+// intervisit distribution of Theorem 4.1, and runs the Theorem 4.3
+// fixed-point iteration for the general-traffic solution. Performance
+// measures follow §4.5.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/phase"
+)
+
+// ClassParams describes one job class of the model (paper §3.2).
+type ClassParams struct {
+	// Partition is g(p): the number of processors each class-p job runs on.
+	// Must divide the machine size.
+	Partition int
+	// Arrival is the interarrival-time distribution A_p with mean 1/λ_p.
+	Arrival *phase.Dist
+	// Service is the service-time distribution B_p on g(p) processors,
+	// with mean 1/μ_p.
+	Service *phase.Dist
+	// Quantum is the quantum-length distribution G_p with mean 1/γ_p,
+	// applicable when there is work to keep the partitions busy.
+	Quantum *phase.Dist
+	// Overhead is the context-switch overhead distribution C_p with mean
+	// 1/δ_p for switching from class p to class (p+1) mod L.
+	Overhead *phase.Dist
+	// Batch, when non-nil, gives the bulk-arrival size distribution:
+	// Batch[k] = P[an arrival epoch brings k+1 jobs]. The paper (§3)
+	// notes its quasi-birth-death analysis extends to bounded batches;
+	// the solver handles them by reblocking the level space (DESIGN.md).
+	// Nil means single arrivals.
+	Batch []float64
+}
+
+// MaxBatch returns the largest possible batch size (1 for single
+// arrivals).
+func (c *ClassParams) MaxBatch() int {
+	if len(c.Batch) == 0 {
+		return 1
+	}
+	return len(c.Batch)
+}
+
+// MeanBatch returns E[batch size].
+func (c *ClassParams) MeanBatch() float64 {
+	if len(c.Batch) == 0 {
+		return 1
+	}
+	var m float64
+	for k, q := range c.Batch {
+		m += float64(k+1) * q
+	}
+	return m
+}
+
+// Model is the full gang-scheduled system.
+type Model struct {
+	// Processors is P, the machine size.
+	Processors int
+	// Classes lists the L job classes in timeplexing order.
+	Classes []ClassParams
+}
+
+// Validate checks structural constraints: at least one class, partition
+// sizes dividing P, and proper atomless phase-type parameters (an
+// interarrival, service, quantum or overhead time of exactly zero is
+// meaningless in the model).
+func (m *Model) Validate() error {
+	if m.Processors < 1 {
+		return fmt.Errorf("core: %d processors, want >= 1", m.Processors)
+	}
+	if len(m.Classes) == 0 {
+		return fmt.Errorf("core: no job classes")
+	}
+	for p, c := range m.Classes {
+		if c.Partition < 1 || c.Partition > m.Processors {
+			return fmt.Errorf("core: class %d partition g=%d outside [1, %d]", p, c.Partition, m.Processors)
+		}
+		if m.Processors%c.Partition != 0 {
+			return fmt.Errorf("core: class %d partition g=%d does not divide P=%d", p, c.Partition, m.Processors)
+		}
+		for _, d := range []struct {
+			name string
+			dist *phase.Dist
+		}{
+			{"arrival", c.Arrival}, {"service", c.Service},
+			{"quantum", c.Quantum}, {"overhead", c.Overhead},
+		} {
+			if d.dist == nil {
+				return fmt.Errorf("core: class %d has no %s distribution", p, d.name)
+			}
+			if err := d.dist.Validate(); err != nil {
+				return fmt.Errorf("core: class %d %s distribution: %w", p, d.name, err)
+			}
+			if d.dist.AtomAtZero() > 1e-12 {
+				return fmt.Errorf("core: class %d %s distribution has an atom at zero", p, d.name)
+			}
+		}
+		if len(c.Batch) > 0 {
+			var mass float64
+			for k, q := range c.Batch {
+				if q < 0 {
+					return fmt.Errorf("core: class %d batch probability %d is %g", p, k+1, q)
+				}
+				mass += q
+			}
+			if mass < 1-1e-9 || mass > 1+1e-9 {
+				return fmt.Errorf("core: class %d batch probabilities sum to %g, want 1", p, mass)
+			}
+		}
+	}
+	return nil
+}
+
+// NumClasses returns L.
+func (m *Model) NumClasses() int { return len(m.Classes) }
+
+// Servers returns P/g(p), the number of class-p partitions (the paper's
+// "servers" for class p).
+func (m *Model) Servers(p int) int { return m.Processors / m.Classes[p].Partition }
+
+// ArrivalRate returns the class-p job arrival rate λ_p: the arrival-epoch
+// rate 1/E[A_p] times the mean batch size.
+func (m *Model) ArrivalRate(p int) float64 {
+	return m.Classes[p].Arrival.Rate() * m.Classes[p].MeanBatch()
+}
+
+// ServiceRate returns μ_p = 1/E[B_p].
+func (m *Model) ServiceRate(p int) float64 { return m.Classes[p].Service.Rate() }
+
+// ClassUtilization returns ρ_p = λ_p·g(p) / (μ_p·P), class p's share of the
+// machine's raw processing capacity (paper §5).
+func (m *Model) ClassUtilization(p int) float64 {
+	return m.ArrivalRate(p) * float64(m.Classes[p].Partition) /
+		(m.ServiceRate(p) * float64(m.Processors))
+}
+
+// Utilization returns the total utilization factor ρ = Σ_p ρ_p.
+func (m *Model) Utilization() float64 {
+	var rho float64
+	for p := range m.Classes {
+		rho += m.ClassUtilization(p)
+	}
+	return rho
+}
+
+// MeanCycleNominal returns the nominal timeplexing-cycle length
+// Σ_p (E[G_p] + E[C_p]), i.e. the heavy-traffic mean of Z_n (paper §3.1).
+func (m *Model) MeanCycleNominal() float64 {
+	var z float64
+	for _, c := range m.Classes {
+		z += c.Quantum.Mean() + c.Overhead.Mean()
+	}
+	return z
+}
+
+// QuantumShare returns class p's fraction of the nominal timeplexing cycle
+// (the x-axis of the paper's Figure 5).
+func (m *Model) QuantumShare(p int) float64 {
+	z := m.MeanCycleNominal()
+	if z == 0 {
+		return math.NaN()
+	}
+	return m.Classes[p].Quantum.Mean() / z
+}

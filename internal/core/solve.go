@@ -1,0 +1,323 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/phase"
+	"repro/internal/qbd"
+)
+
+// SolveOptions tune the analytic solution.
+type SolveOptions struct {
+	// RMatrix forwards options to the QBD R-matrix computation.
+	RMatrix qbd.RMatrixOptions
+	// FixedPointTol is the relative change in every class's mean
+	// population at which the Theorem 4.3 iteration stops. Default 1e-6.
+	FixedPointTol float64
+	// MaxIterations bounds the fixed-point iteration. Default 200.
+	MaxIterations int
+	// Damping blends new effective-quantum parameters with the previous
+	// iterate: value in (0, 1], 1 = no damping. Default 1 (the iteration
+	// is a monotone contraction; damping only slows it).
+	Damping float64
+	// DisableAcceleration turns off the Aitken Δ² extrapolation applied
+	// every third iterate to the effective-quantum parameters. The
+	// un-accelerated iteration converges linearly with ratio ≈ 0.9 at
+	// light loads, so acceleration is on by default.
+	DisableAcceleration bool
+	// MaxFitOrder caps the order of the moment-matched effective-quantum
+	// stand-in (ablation A2). Default 8.
+	MaxFitOrder int
+	// TailEps sets the stationary tail mass at which the effective-quantum
+	// chain is truncated. Default 1e-10.
+	TailEps float64
+	// TruncationCap bounds the truncation depth above the boundary.
+	// Default 400.
+	TruncationCap int
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.FixedPointTol == 0 {
+		o.FixedPointTol = 1e-6
+	}
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 200
+	}
+	if o.Damping == 0 {
+		o.Damping = 1
+	}
+	if o.MaxFitOrder == 0 {
+		o.MaxFitOrder = 8
+	}
+	if o.TailEps == 0 {
+		o.TailEps = 1e-10
+	}
+	if o.TruncationCap == 0 {
+		o.TruncationCap = 400
+	}
+	return o
+}
+
+// ClassResult holds the per-class steady-state measures of §4.5.
+type ClassResult struct {
+	// Stable reports the Theorem 4.4 drift condition for this class under
+	// its final intervisit distribution. When false the remaining fields
+	// other than Rho are zero.
+	Stable bool
+	// N is the mean number of class-p jobs in the system (eq. 37).
+	N float64
+	// T is the mean response time N/λ_p (Little's law, Theorem 2.1).
+	T float64
+	// Rho is the class utilization λ_p·g(p)/(μ_p·P).
+	Rho float64
+	// SpectralRadiusR is sp(R_p), the geometric tail decay rate.
+	SpectralRadiusR float64
+	// Effective summarizes the class's effective quantum (Theorem 4.3).
+	Effective *EffectiveQuantum
+	// Intervisit is the final F_p used in the class's QBD.
+	Intervisit *phase.Dist
+	// Solution exposes the underlying matrix-geometric solution.
+	Solution *qbd.Solution
+
+	chain *ClassChain
+}
+
+// QueueLengthDist returns P[N_p = n] for n = 0..maxN — the per-class
+// population distribution, from which tail service-level targets can be
+// read (e.g. the probability an arriving job finds all partitions busy).
+func (cr *ClassResult) QueueLengthDist(maxN int) []float64 {
+	if !cr.Stable || cr.Solution == nil {
+		return nil
+	}
+	out := make([]float64, maxN+1)
+	for n := 0; n <= maxN; n++ {
+		out[n] = cr.chain.PhysicalLevelMass(cr.Solution, n)
+	}
+	return out
+}
+
+// TailProb returns P[N_p ≥ n], computed from the level distribution.
+func (cr *ClassResult) TailProb(n int) float64 {
+	if !cr.Stable || cr.Solution == nil {
+		return 1
+	}
+	p := 1.0
+	for i := 0; i < n; i++ {
+		p -= cr.chain.PhysicalLevelMass(cr.Solution, i)
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Result is the model-wide analytic solution.
+type Result struct {
+	Classes    []ClassResult
+	Iterations int // fixed-point iterations performed (1 = heavy traffic only)
+	Converged  bool
+	// TotalN is Σ_p N_p over stable classes.
+	TotalN float64
+	// MeanCycle is the converged mean timeplexing-cycle length
+	// Σ_p (E[effective quantum_p] + E[C_p]).
+	MeanCycle float64
+}
+
+// ErrAllUnstable is returned when no class satisfies the drift condition.
+var ErrAllUnstable = errors.New("core: every class is unstable")
+
+// SolveHeavyTraffic solves the L per-class QBDs with the Theorem 4.1
+// heavy-traffic intervisit distributions and no fixed-point refinement —
+// the paper's initialization, and ablation A1's baseline.
+func SolveHeavyTraffic(m *Model, opts SolveOptions) (*Result, error) {
+	opts = opts.withDefaults()
+	opts.MaxIterations = 1
+	return solve(m, opts)
+}
+
+// Solve runs the full Theorem 4.3 fixed-point iteration: solve each class,
+// extract each class's effective quantum from its solution, rebuild every
+// intervisit distribution from the other classes' effective quanta, and
+// repeat to convergence.
+func Solve(m *Model, opts SolveOptions) (*Result, error) {
+	return solve(m, opts.withDefaults())
+}
+
+func solve(m *Model, opts SolveOptions) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	l := m.NumClasses()
+	quanta := nominalQuanta(m) // effective-quantum stand-ins, heavy-traffic init
+	prevN := make([]float64, l)
+	hist := make([][]quantumParams, l) // recent parameter iterates per class
+
+	var res *Result
+	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		res = &Result{Iterations: iter}
+		anyStable := false
+		for p := 0; p < l; p++ {
+			f := IntervisitFrom(m, p, quanta)
+			cr, err := solveClass(m, p, f, opts)
+			if err != nil {
+				return nil, fmt.Errorf("core: class %d: %w", p, err)
+			}
+			if cr.Stable {
+				anyStable = true
+				res.TotalN += cr.N
+			}
+			res.Classes = append(res.Classes, *cr)
+		}
+		if !anyStable {
+			return res, ErrAllUnstable
+		}
+
+		// Convergence check on the mean populations of stable classes.
+		maxDelta := 0.0
+		for p := 0; p < l; p++ {
+			if !res.Classes[p].Stable {
+				continue
+			}
+			d := math.Abs(res.Classes[p].N-prevN[p]) / (1 + math.Abs(res.Classes[p].N))
+			if d > maxDelta {
+				maxDelta = d
+			}
+			prevN[p] = res.Classes[p].N
+		}
+		if iter > 1 && maxDelta < opts.FixedPointTol {
+			res.Converged = true
+			break
+		}
+		if iter == opts.MaxIterations {
+			break
+		}
+
+		// Rebuild the effective quanta for the next round. Unstable
+		// classes always exhaust their quantum, so they keep G_p.
+		for p := 0; p < l; p++ {
+			cr := &res.Classes[p]
+			if !cr.Stable || cr.Effective == nil {
+				quanta[p] = m.Classes[p].Quantum
+				hist[p] = hist[p][:0]
+				continue
+			}
+			pr := quantumParams{
+				mean: cr.Effective.ConditionalMean(),
+				scv:  cr.Effective.ConditionalSCV(),
+				atom: cr.Effective.Atom,
+			}
+			if n := len(hist[p]); n > 0 && opts.Damping < 1 {
+				pr = pr.blend(hist[p][n-1], opts.Damping)
+			}
+			hist[p] = append(hist[p], pr)
+			// Aitken Δ² extrapolation on three consecutive iterates: the
+			// plain iteration is a slow linear contraction, acceleration
+			// typically cuts the iteration count by an order of magnitude.
+			if !opts.DisableAcceleration && len(hist[p]) >= 3 {
+				n := len(hist[p])
+				pr = aitken(hist[p][n-3], hist[p][n-2], hist[p][n-1])
+				hist[p] = append(hist[p][:0], pr)
+			}
+			red, err := pr.dist(opts.MaxFitOrder)
+			if err != nil {
+				return nil, fmt.Errorf("core: class %d effective-quantum fit: %w", p, err)
+			}
+			quanta[p] = red
+		}
+	}
+
+	// Mean cycle from the final effective quanta.
+	for p := 0; p < l; p++ {
+		res.MeanCycle += m.Classes[p].Overhead.Mean()
+		if cr := res.Classes[p]; cr.Stable && cr.Effective != nil {
+			res.MeanCycle += cr.Effective.Mean()
+		} else {
+			res.MeanCycle += m.Classes[p].Quantum.Mean()
+		}
+	}
+	return res, nil
+}
+
+// quantumParams is the reduced parameterization of an effective quantum
+// carried through the fixed point: conditional mean, conditional SCV, and
+// the atom at zero.
+type quantumParams struct {
+	mean, scv, atom float64
+}
+
+func (p quantumParams) blend(prev quantumParams, theta float64) quantumParams {
+	return quantumParams{
+		mean: theta*p.mean + (1-theta)*prev.mean,
+		scv:  theta*p.scv + (1-theta)*prev.scv,
+		atom: theta*p.atom + (1-theta)*prev.atom,
+	}
+}
+
+func (p quantumParams) dist(maxOrder int) (*phase.Dist, error) {
+	eq := &EffectiveQuantum{Atom: p.atom}
+	eq.Moments[0] = p.mean * (1 - p.atom)
+	eq.Moments[1] = (p.scv + 1) * p.mean * p.mean * (1 - p.atom)
+	return eq.ReducedDist(maxOrder)
+}
+
+// aitken applies the Δ² extrapolation componentwise to three consecutive
+// iterates, clamping the results to their physical ranges.
+func aitken(x0, x1, x2 quantumParams) quantumParams {
+	acc := func(a, b, c float64) float64 {
+		d2 := (c - b) - (b - a)
+		if math.Abs(d2) < 1e-14 {
+			return c
+		}
+		return c - (c-b)*(c-b)/d2
+	}
+	out := quantumParams{
+		mean: acc(x0.mean, x1.mean, x2.mean),
+		scv:  acc(x0.scv, x1.scv, x2.scv),
+		atom: acc(x0.atom, x1.atom, x2.atom),
+	}
+	out.mean = clamp(out.mean, 1e-9, math.Max(x2.mean*10, 1e-6))
+	out.scv = clamp(out.scv, 0.01, math.Max(x2.scv*10, 0.02))
+	out.atom = clamp(out.atom, 0, 0.9999)
+	return out
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// solveClass builds and solves one class's QBD under intervisit f.
+func solveClass(m *Model, p int, f *phase.Dist, opts SolveOptions) (*ClassResult, error) {
+	ch, err := BuildClassChain(m, p, f)
+	if err != nil {
+		return nil, err
+	}
+	cr := &ClassResult{Rho: m.ClassUtilization(p), Intervisit: f, chain: ch}
+	sol, err := qbd.Solve(ch.Proc, opts.RMatrix)
+	if errors.Is(err, qbd.ErrUnstable) {
+		return cr, nil // Stable stays false
+	}
+	if err != nil {
+		return nil, err
+	}
+	cr.Stable = true
+	cr.Solution = sol
+	cr.SpectralRadiusR = sol.SpectralRadiusR()
+	cr.N, err = ch.MeanJobs(sol)
+	if err != nil {
+		return nil, err
+	}
+	cr.T = cr.N / m.ArrivalRate(p)
+	cr.Effective, err = ExtractEffectiveQuantum(ch, sol, opts.TailEps, opts.TruncationCap)
+	if err != nil {
+		return nil, err
+	}
+	return cr, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/phase"
+)
+
+// classState is one state of the class-p Markov process {X_p(t)} of paper
+// §4.1: (arrival phase, service-phase occupancy vector, cycle phase).
+//
+// The cycle phase k ranges over the quantum phases 0..MG−1 (class p in
+// service — the paper's k_p ∈ {1..M_p}) followed by the intervisit phases
+// MG..MG+NF−1 (other classes in service — k_p ∈ {M_p+1..M_p+N_p}).
+type classState struct {
+	a int   // arrival phase of A_p
+	j []int // j[n] = number of in-service class-p jobs whose B_p is in phase n
+	k int   // cycle phase
+}
+
+func (s classState) key() string { return fmt.Sprint(s.a, s.j, s.k) }
+
+// classSpace enumerates and indexes the per-level state spaces of one
+// class's QBD. Levels 0..C−1 (C = P/g(p) partitions) form the boundary;
+// levels ≥ C share the repeating space with all partitions busy.
+type classSpace struct {
+	servers int // C = P/g(p)
+	mA      int // arrival phases
+	mB      int // service phases
+	mG      int // quantum phases
+	nF      int // intervisit phases
+
+	arrival, service, quantum, intervisit *phase.Dist
+
+	batch    []float64 // batch[k] = P[batch = k+1]; {1} for single arrivals
+	maxBatch int
+
+	levels  [][]classState   // levels[i] for i = 0..C (C = repeating space)
+	indexes []map[string]int // state key → index, per level in levels
+}
+
+// newClassSpace builds the state spaces for class p of model m, given the
+// class's intervisit distribution F.
+func newClassSpace(m *Model, p int, intervisit *phase.Dist) *classSpace {
+	c := m.Classes[p]
+	sp := &classSpace{
+		servers:    m.Servers(p),
+		mA:         c.Arrival.Order(),
+		mB:         c.Service.Order(),
+		mG:         c.Quantum.Order(),
+		nF:         intervisit.Order(),
+		arrival:    c.Arrival,
+		service:    c.Service,
+		quantum:    c.Quantum,
+		intervisit: intervisit,
+		batch:      c.Batch,
+		maxBatch:   c.MaxBatch(),
+	}
+	if len(sp.batch) == 0 {
+		sp.batch = []float64{1}
+	}
+	sp.levels = make([][]classState, sp.servers+1)
+	sp.indexes = make([]map[string]int, sp.servers+1)
+	for i := 0; i <= sp.servers; i++ {
+		sp.levels[i] = sp.enumerate(i)
+		idx := make(map[string]int, len(sp.levels[i]))
+		for n, st := range sp.levels[i] {
+			idx[st.key()] = n
+		}
+		sp.indexes[i] = idx
+	}
+	return sp
+}
+
+// enumerate lists the states of level i (capped at the repeating level C).
+// Level 0 has no jobs and therefore no quantum phases: when the class-p
+// queue is empty the scheduler skips straight past p's slice (paper §3.1),
+// so only intervisit phases are reachable.
+func (sp *classSpace) enumerate(i int) []classState {
+	inService := i
+	if inService > sp.servers {
+		inService = sp.servers
+	}
+	var states []classState
+	if i == 0 {
+		for a := 0; a < sp.mA; a++ {
+			for f := 0; f < sp.nF; f++ {
+				states = append(states, classState{a: a, j: make([]int, sp.mB), k: sp.mG + f})
+			}
+		}
+		return states
+	}
+	for a := 0; a < sp.mA; a++ {
+		for _, j := range compositions(inService, sp.mB) {
+			for k := 0; k < sp.mG+sp.nF; k++ {
+				states = append(states, classState{a: a, j: j, k: k})
+			}
+		}
+	}
+	return states
+}
+
+// stateIndex returns the index of st within its level (levels above C map
+// onto the repeating space).
+func (sp *classSpace) stateIndex(level int, st classState) int {
+	if level > sp.servers {
+		level = sp.servers
+	}
+	idx, ok := sp.indexes[level][st.key()]
+	if !ok {
+		panic(fmt.Sprintf("core: state %+v not in level %d", st, level))
+	}
+	return idx
+}
+
+// dim returns the number of states at the given level.
+func (sp *classSpace) dim(level int) int {
+	if level > sp.servers {
+		level = sp.servers
+	}
+	return len(sp.levels[level])
+}
+
+// inQuantum reports whether cycle phase k is a quantum (service) phase.
+func (sp *classSpace) inQuantum(k int) bool { return k < sp.mG }
+
+// compositions returns all vectors of length parts with non-negative
+// entries summing to total, in lexicographic order. This enumerates the
+// paper's service-phase occupancy vectors (j_p¹, …, j_p^{m_Bp}).
+func compositions(total, parts int) [][]int {
+	if parts == 0 {
+		if total == 0 {
+			return [][]int{{}}
+		}
+		return nil
+	}
+	if parts == 1 {
+		return [][]int{{total}}
+	}
+	var out [][]int
+	for first := total; first >= 0; first-- {
+		for _, rest := range compositions(total-first, parts-1) {
+			v := make([]int, 0, parts)
+			v = append(v, first)
+			v = append(v, rest...)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// multinomialProb returns the probability that `sum(v)` jobs, each drawing
+// an independent initial service phase from beta, land with occupancy
+// vector v: (Σv)!/(Πv!)·Πβ^v.
+func multinomialProb(v []int, beta []float64) float64 {
+	p := 1.0
+	total := 0
+	for m, cnt := range v {
+		for i := 0; i < cnt; i++ {
+			total++
+			p *= beta[m] * float64(total) / float64(i+1)
+		}
+	}
+	return p
+}
+
+// addVec returns a + b elementwise.
+func addVec(a, b []int) []int {
+	out := make([]int, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// copyWith returns j with j[from] decremented and j[to] incremented;
+// from or to may be -1 to skip that adjustment.
+func copyWith(j []int, from, to int) []int {
+	out := make([]int, len(j))
+	copy(out, j)
+	if from >= 0 {
+		out[from]--
+	}
+	if to >= 0 {
+		out[to]++
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/markov"
+	"repro/internal/matrix"
+	"repro/internal/phase"
+)
+
+// TransientOptions drive the time-dependent solution.
+type TransientOptions struct {
+	// Truncation caps the level space (default 200 above the boundary).
+	Truncation int
+	// Intervisit overrides the class's intervisit distribution; nil uses
+	// the Theorem 4.1 heavy-traffic construction.
+	Intervisit *phase.Dist
+}
+
+// TransientMeanLevel computes E[N_p(t)] at the given times for the
+// class-p chain started empty (level 0, arrival phase α_p, intervisit
+// phase ν_Fp), by uniformization (paper §2.4) on a truncated level space.
+//
+// The paper solves only for steady state; the transient curve is the
+// natural by-product of the same machinery and is what an operator uses
+// to size simulation warmups and to see how fast the system forgets its
+// morning-empty state.
+func TransientMeanLevel(m *Model, p int, times []float64, opts TransientOptions) ([]float64, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Truncation <= 0 {
+		opts.Truncation = 200
+	}
+	f := opts.Intervisit
+	if f == nil {
+		f = HeavyTrafficIntervisit(m, p)
+	}
+	sp := newClassSpace(m, p, f)
+	k := sp.servers + opts.Truncation
+
+	// Index the truncated state space level by level.
+	offs := make([]int, k+2)
+	total := 0
+	for lev := 0; lev <= k; lev++ {
+		offs[lev] = total
+		total += sp.dim(lev)
+	}
+	offs[k+1] = total
+
+	q := matrix.New(total, total)
+	for lev := 0; lev <= k; lev++ {
+		src := lev
+		if src > sp.servers {
+			src = sp.servers
+		}
+		for si, st := range sp.levels[src] {
+			row := offs[lev] + si
+			var out float64
+			sp.emit(lev, st, func(destLevel int, dest classState, rate float64) {
+				if rate == 0 {
+					return
+				}
+				if destLevel > k { // reflect at the truncation boundary
+					return
+				}
+				col := offs[destLevel] + sp.stateIndex(destLevel, dest)
+				if col != row {
+					q.Add(row, col, rate)
+					out += rate
+				}
+			})
+			q.Add(row, row, -out)
+		}
+	}
+
+	// Initial state: empty system, fresh arrival phase, intervisit just
+	// begun — mirroring a machine switched on with no work.
+	p0 := make([]float64, total)
+	alphaA := m.Classes[p].Arrival.Alpha
+	for si, st := range sp.levels[0] {
+		fIdx := st.k - sp.mG
+		p0[offs[0]+si] = alphaA[st.a] * f.Alpha[fIdx]
+	}
+	if s := matrix.VecSum(p0); s > 0 {
+		matrix.ScaleVec(1/s, p0)
+	} else {
+		return nil, fmt.Errorf("core: empty initial distribution")
+	}
+
+	// Per-state level values for the expectation.
+	levelOf := make([]float64, total)
+	for lev := 0; lev <= k; lev++ {
+		for si := 0; si < sp.dim(lev); si++ {
+			levelOf[offs[lev]+si] = float64(lev)
+		}
+	}
+
+	// Evaluate at sorted times, reusing the evolved distribution.
+	type idxTime struct {
+		i int
+		t float64
+	}
+	order := make([]idxTime, len(times))
+	for i, t := range times {
+		if t < 0 {
+			return nil, fmt.Errorf("core: negative time %g", t)
+		}
+		order[i] = idxTime{i, t}
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a].t < order[b].t })
+
+	out := make([]float64, len(times))
+	cur := p0
+	last := 0.0
+	for _, it := range order {
+		if dt := it.t - last; dt > 0 {
+			cur = markov.Transient(q, cur, dt)
+			last = it.t
+		}
+		out[it.i] = matrix.Dot(cur, levelOf)
+	}
+	return out, nil
+}

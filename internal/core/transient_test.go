@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/phase"
+)
+
+func TestTransientStartsEmpty(t *testing.T) {
+	m := singleClassModel(4, 2, 0.8, 1.0, 1, 0.01)
+	ns, err := TransientMeanLevel(m, 0, []float64{0}, TransientOptions{Truncation: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ns[0] != 0 {
+		t.Fatalf("N(0) = %g, want 0", ns[0])
+	}
+}
+
+func TestTransientMonotoneFromEmptyAndConverges(t *testing.T) {
+	m := singleClassModel(4, 2, 0.8, 1.0, 1, 0.01)
+	times := []float64{0, 1, 2, 5, 10, 25, 50, 150, 400}
+	ns, err := TransientMeanLevel(m, 0, times, TransientOptions{Truncation: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ns); i++ {
+		if ns[i] < ns[i-1]-1e-6 {
+			t.Fatalf("N(t) not monotone from empty: %v", ns)
+		}
+	}
+	// The t→∞ limit is the heavy-traffic stationary solution (same
+	// intervisit distribution).
+	res, err := SolveHeavyTraffic(m, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit := ns[len(ns)-1]
+	if math.Abs(limit-res.Classes[0].N)/res.Classes[0].N > 0.02 {
+		t.Fatalf("transient limit %g, stationary %g", limit, res.Classes[0].N)
+	}
+}
+
+func TestTransientUnsortedTimes(t *testing.T) {
+	m := singleClassModel(4, 4, 0.5, 1.0, 1, 0.01)
+	ns, err := TransientMeanLevel(m, 0, []float64{10, 1, 5}, TransientOptions{Truncation: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results must respect the requested order: N(1) ≤ N(5) ≤ N(10).
+	if !(ns[1] <= ns[2] && ns[2] <= ns[0]) {
+		t.Fatalf("unsorted-times mapping wrong: %v", ns)
+	}
+}
+
+func TestTransientRejectsBadInput(t *testing.T) {
+	m := singleClassModel(4, 2, 0.8, 1.0, 1, 0.01)
+	if _, err := TransientMeanLevel(m, 0, []float64{-1}, TransientOptions{}); err == nil {
+		t.Fatal("expected negative-time error")
+	}
+	if _, err := TransientMeanLevel(&Model{}, 0, []float64{1}, TransientOptions{}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestTransientCustomIntervisit(t *testing.T) {
+	m := singleClassModel(4, 2, 0.8, 1.0, 1, 0.01)
+	// A much longer intervisit slows convergence and raises N at fixed t.
+	slow := phase.Exponential(1.0 / 5)
+	fast := phase.Exponential(1.0 / 0.01)
+	nSlow, err := TransientMeanLevel(m, 0, []float64{20}, TransientOptions{Truncation: 60, Intervisit: slow})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nFast, err := TransientMeanLevel(m, 0, []float64{20}, TransientOptions{Truncation: 60, Intervisit: fast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nSlow[0] <= nFast[0] {
+		t.Fatalf("longer intervisit should hold more jobs: %g vs %g", nSlow[0], nFast[0])
+	}
+}

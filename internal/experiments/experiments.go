@@ -1,0 +1,315 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// (§5) plus the ablations listed in DESIGN.md. Each experiment produces a
+// Table whose series mirror the curves of the corresponding figure:
+// analytic results from the Theorem 4.3 fixed point, and optionally
+// simulated counterparts with confidence intervals.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/phase"
+	"repro/internal/plot"
+	"repro/internal/sim"
+)
+
+// Options control experiment execution.
+type Options struct {
+	// Simulate adds discrete-event simulation columns next to the
+	// analytic ones.
+	Simulate bool
+	// Seed for the simulations.
+	Seed int64
+	// Warmup and Horizon for the simulations (defaults 2e4 / 2.2e5).
+	Warmup, Horizon float64
+	// Solve forwards options to the analytic solver.
+	Solve core.SolveOptions
+}
+
+func (o Options) withDefaults() Options {
+	if o.Warmup == 0 {
+		o.Warmup = 2e4
+	}
+	if o.Horizon == 0 {
+		o.Horizon = 2.2e5
+	}
+	if o.Seed == 0 {
+		o.Seed = 1996
+	}
+	return o
+}
+
+// Table is a printable experiment result: one row per sweep point.
+type Table struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Rows    [][]float64
+	Notes   string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Notes)
+	}
+	fmt.Fprintf(&b, "%-12s", t.XLabel)
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %14s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-12.4g", row[0])
+		for _, v := range row[1:] {
+			fmt.Fprintf(&b, " %14.4f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Chart converts the table into an ASCII chart of its first n columns
+// (all analytic columns when n ≤ 0); negative sentinel values (unstable
+// points) are dropped.
+func (t *Table) Chart(n int) *plot.Chart {
+	if n <= 0 || n > len(t.Columns) {
+		n = len(t.Columns)
+		// Skip simulated columns by default (they duplicate the curves).
+		for i, c := range t.Columns {
+			if strings.HasPrefix(c, "sim") || strings.HasPrefix(c, "ci") {
+				n = i
+				break
+			}
+		}
+	}
+	ch := &plot.Chart{Title: t.Title, XLabel: t.XLabel, YLabel: "N"}
+	for col := 1; col <= n; col++ {
+		s := plot.Series{Name: t.Columns[col-1]}
+		for _, row := range t.Rows {
+			if row[col] < 0 {
+				continue
+			}
+			s.X = append(s.X, row[0])
+			s.Y = append(s.Y, row[col])
+		}
+		ch.Series = append(ch.Series, s)
+	}
+	return ch
+}
+
+// PaperServiceRates are the §5 rates μ₀:μ₁:μ₂:μ₃ = 0.5:1:2:4.
+var PaperServiceRates = [4]float64{0.5, 1, 2, 4}
+
+// PaperModel builds the §5 experimental system: P = 8 processors, four
+// classes with partition sizes g(p) = 2^p (so class p has 2^{3−p}
+// partitions), exponential interarrival, service, quantum and overhead
+// distributions.
+func PaperModel(lambda [4]float64, mu [4]float64, quantumMean [4]float64, overheadMean float64) *core.Model {
+	m := &core.Model{Processors: 8}
+	for p := 0; p < 4; p++ {
+		m.Classes = append(m.Classes, core.ClassParams{
+			Partition: 1 << p,
+			Arrival:   phase.Exponential(lambda[p]),
+			Service:   phase.Exponential(mu[p]),
+			Quantum:   phase.Exponential(1 / quantumMean[p]),
+			Overhead:  phase.Exponential(1 / overheadMean),
+		})
+	}
+	return m
+}
+
+func same4(v float64) [4]float64 { return [4]float64{v, v, v, v} }
+
+// QuantumSweep holds the x-axis of Figures 2–3. The 0.1 point captures the
+// paper's steep left branch where the 0.01 context-switch overhead
+// dominates the quantum.
+var QuantumSweep = []float64{0.1, 0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 5, 6}
+
+// Figure2 regenerates Figure 2: mean number of jobs N_p versus mean
+// quantum length 1/γ at utilization ρ = 0.4 (λ_p = 0.4, overhead 0.01).
+func Figure2(opts Options) (*Table, error) {
+	return quantumLengthFigure("Figure 2: N_p vs mean quantum length, rho = 0.4", 0.4, opts)
+}
+
+// Figure3 regenerates Figure 3: same sweep at ρ = 0.9 (λ_p = 0.9).
+func Figure3(opts Options) (*Table, error) {
+	return quantumLengthFigure("Figure 3: N_p vs mean quantum length, rho = 0.9", 0.9, opts)
+}
+
+func quantumLengthFigure(title string, lambda float64, opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		Title:  title,
+		XLabel: "quantum",
+		Notes:  "paper shape: steep drop from tiny quanta, knee, then monotone rise (exhaustive-service idling)",
+	}
+	for p := 0; p < 4; p++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("N%d", p))
+	}
+	if opts.Simulate {
+		for p := 0; p < 4; p++ {
+			t.Columns = append(t.Columns, fmt.Sprintf("simN%d", p), fmt.Sprintf("ci%d", p))
+		}
+	}
+	for _, q := range QuantumSweep {
+		m := PaperModel(same4(lambda), PaperServiceRates, same4(q), 0.01)
+		row, err := solveRow(m, q, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: quantum %g: %w", q, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ServiceRateSweep holds the x-axis of Figure 4.
+var ServiceRateSweep = []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20}
+
+// Figure4 regenerates Figure 4: N_p versus the (common) mean service rate
+// μ, with quantum mean 5 and λ_p = 0.6.
+func Figure4(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	t := &Table{
+		Title:  "Figure 4: N_p vs mean service rate, quantum = 5, lambda = 0.6",
+		XLabel: "mu",
+		Notes:  "paper shape: dramatic drop then flattening - little benefit beyond a point",
+	}
+	for p := 0; p < 4; p++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("N%d", p))
+	}
+	if opts.Simulate {
+		for p := 0; p < 4; p++ {
+			t.Columns = append(t.Columns, fmt.Sprintf("simN%d", p), fmt.Sprintf("ci%d", p))
+		}
+	}
+	for _, mu := range ServiceRateSweep {
+		m := PaperModel(same4(0.6), same4(mu), same4(5), 0.01)
+		row, err := solveRow(m, mu, opts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mu %g: %w", mu, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// ShareSweep holds the x-axis of Figure 5.
+var ShareSweep = []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+
+// Figure5 regenerates Figure 5: N_p versus the fraction of the timeplexing
+// cycle devoted to class p's quantum, at λ_p = 0.6, ρ = 0.6 (so
+// μ_p = 2^p). The nominal cycle is held at 8; when class p receives
+// fraction x, the remaining quantum budget is split equally among the
+// other three classes.
+func Figure5(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	const (
+		cycle    = 8.0
+		overhead = 0.01
+	)
+	mu := [4]float64{1, 2, 4, 8} // λ_p g(p)/(μ_p P) = 0.15 each, ρ = 0.6
+	t := &Table{
+		Title:  "Figure 5: N_p vs fraction of timeplexing cycle given to class p (cycle = 8)",
+		XLabel: "share",
+		Notes:  "paper shape: N_p decreases monotonically in the class's own share",
+	}
+	for p := 0; p < 4; p++ {
+		t.Columns = append(t.Columns, fmt.Sprintf("N%d", p))
+	}
+	if opts.Simulate {
+		for p := 0; p < 4; p++ {
+			t.Columns = append(t.Columns, fmt.Sprintf("simN%d", p), fmt.Sprintf("ci%d", p))
+		}
+	}
+	budget := cycle - 4*overhead
+	for _, x := range ShareSweep {
+		own := x * cycle
+		if own >= budget {
+			continue
+		}
+		rest := (budget - own) / 3
+		row := []float64{x}
+		simRow := []float64{}
+		// Class p's curve comes from the model in which p holds share x.
+		for p := 0; p < 4; p++ {
+			q := same4(rest)
+			q[p] = own
+			m := PaperModel(same4(0.6), mu, q, overhead)
+			res, err := core.Solve(m, opts.Solve)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: share %g class %d: %w", x, p, err)
+			}
+			row = append(row, nOrInf(res.Classes[p]))
+			if opts.Simulate {
+				sres, err := sim.RunGang(sim.Config{
+					Model: m, Seed: opts.Seed + int64(p), Warmup: opts.Warmup, Horizon: opts.Horizon,
+				})
+				if err != nil {
+					return nil, err
+				}
+				simRow = append(simRow, sres.Classes[p].MeanJobs, sres.Classes[p].MeanJobsCI)
+			}
+		}
+		t.Rows = append(t.Rows, append(row, simRow...))
+	}
+	return t, nil
+}
+
+// solveRow computes one sweep row: analytic N per class, then optionally
+// simulated N and CI per class.
+func solveRow(m *core.Model, x float64, opts Options) ([]float64, error) {
+	res, err := core.Solve(m, opts.Solve)
+	if err != nil && err != core.ErrAllUnstable {
+		return nil, err
+	}
+	row := []float64{x}
+	for p := range m.Classes {
+		row = append(row, nOrInf(res.Classes[p]))
+	}
+	if opts.Simulate {
+		sres, err := sim.RunGang(sim.Config{
+			Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for p := range m.Classes {
+			row = append(row, sres.Classes[p].MeanJobs, sres.Classes[p].MeanJobsCI)
+		}
+	}
+	return row, nil
+}
+
+// nOrInf encodes an unstable class as a large sentinel so sweeps that
+// cross the stability boundary still render.
+func nOrInf(cr core.ClassResult) float64 {
+	if !cr.Stable {
+		return -1 // rendered as -1: off the stable region
+	}
+	return cr.N
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelfTestAllPass(t *testing.T) {
+	checks, err := SelfTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) < 5 {
+		t.Fatalf("only %d anchors", len(checks))
+	}
+	report, ok := FormatSelfTest(checks)
+	if !ok {
+		t.Fatalf("self-test anchors failed:\n%s", report)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Fatalf("%s: got %g want %g", c.Name, c.Got, c.Want)
+		}
+	}
+	if !strings.Contains(report, "all anchors reproduced") {
+		t.Fatalf("report missing verdict:\n%s", report)
+	}
+}
+
+func TestFormatSelfTestFailure(t *testing.T) {
+	report, ok := FormatSelfTest([]SelfTestCheck{{Name: "x", Got: 1, Want: 2, Pass: false}})
+	if ok || !strings.Contains(report, "FAIL") {
+		t.Fatalf("failure not reported:\n%s", report)
+	}
+}

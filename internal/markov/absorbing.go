@@ -1,0 +1,80 @@
+package markov
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// AbsorbingChain is a CTMC partitioned into transient states with
+// subgenerator T and one or more absorbing states. Exit rates to the
+// absorbing set are implied by T's row-sum deficits; optional per-target
+// rates can be supplied for absorption-probability queries.
+//
+// This is the structure behind both phase-type distributions (paper §2.5)
+// and the Theorem 4.3 construction, where "class p stops being served" —
+// by quantum expiry or queue emptying — is modeled as absorption.
+type AbsorbingChain struct {
+	T *matrix.Dense // subgenerator over transient states
+
+	factor *matrix.LU // cached LU of (−T)
+}
+
+// NewAbsorbingChain validates and wraps a subgenerator. Every transient
+// state must eventually reach absorption (i.e. −T must be non-singular).
+func NewAbsorbingChain(t *matrix.Dense) (*AbsorbingChain, error) {
+	if t.Rows() != t.Cols() {
+		return nil, fmt.Errorf("markov: subgenerator is %dx%d, want square", t.Rows(), t.Cols())
+	}
+	f, err := matrix.Factorize(matrix.Scaled(-1, t))
+	if err != nil {
+		return nil, fmt.Errorf("markov: transient states cannot all reach absorption: %w", err)
+	}
+	return &AbsorbingChain{T: t, factor: f}, nil
+}
+
+// AbsorptionMoments returns the first k raw moments of the absorption time
+// starting from the distribution init over transient states:
+// E[τᵏ] = k!·init·(−T)⁻ᵏ·e.
+func (c *AbsorbingChain) AbsorptionMoments(init []float64, k int) []float64 {
+	if len(init) != c.T.Rows() {
+		panic(fmt.Sprintf("markov: init has %d entries, chain has %d transient states", len(init), c.T.Rows()))
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("markov: AbsorptionMoments(%d), want k >= 1", k))
+	}
+	moments := make([]float64, k)
+	x := matrix.Ones(c.T.Rows())
+	fact := 1.0
+	for i := 1; i <= k; i++ {
+		x = c.factor.SolveVec(x)
+		fact *= float64(i)
+		moments[i-1] = fact * matrix.Dot(init, x)
+	}
+	return moments
+}
+
+// MeanAbsorptionTime returns E[τ] from init.
+func (c *AbsorbingChain) MeanAbsorptionTime(init []float64) float64 {
+	return c.AbsorptionMoments(init, 1)[0]
+}
+
+// ExpectedVisits returns init·(−T)⁻¹, the expected total time spent in each
+// transient state before absorption.
+func (c *AbsorbingChain) ExpectedVisits(init []float64) []float64 {
+	if len(init) != c.T.Rows() {
+		panic(fmt.Sprintf("markov: init has %d entries, chain has %d transient states", len(init), c.T.Rows()))
+	}
+	// Solve xᵀ(−T) = initᵀ, i.e. (−T)ᵀ x = init.
+	return c.factor.SolveTransposed(init)
+}
+
+// AbsorptionProbabilities returns, for exit-rate matrix B (transient ×
+// targets), the probability of absorbing into each target starting from
+// init: init·(−T)⁻¹·B.
+func (c *AbsorbingChain) AbsorptionProbabilities(init []float64, b *matrix.Dense) []float64 {
+	if b.Rows() != c.T.Rows() {
+		panic(fmt.Sprintf("markov: B has %d rows, chain has %d transient states", b.Rows(), c.T.Rows()))
+	}
+	return matrix.VecMul(c.ExpectedVisits(init), b)
+}

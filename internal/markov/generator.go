@@ -1,0 +1,117 @@
+// Package markov provides the continuous-time Markov chain machinery the
+// gang-scheduling analysis builds on (paper §2.2–§2.4): generator
+// validation, stationary distributions via the numerically stable GTH
+// elimination, uniformization (the discrete-time embedding of §2.4),
+// transient solutions, strong-connectivity (irreducibility) checks, and
+// absorbing-chain absorption-time moments used by the Theorem 4.3
+// effective-quantum construction.
+package markov
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ValidateGenerator checks that q is an infinitesimal generator: square,
+// non-negative off-diagonal, row sums zero within tol.
+func ValidateGenerator(q *matrix.Dense, tol float64) error {
+	n := q.Rows()
+	if q.Cols() != n {
+		return fmt.Errorf("markov: generator is %dx%d, want square", n, q.Cols())
+	}
+	for i := 0; i < n; i++ {
+		var row float64
+		for j := 0; j < n; j++ {
+			v := q.At(i, j)
+			if i != j && v < -tol {
+				return fmt.Errorf("markov: negative off-diagonal q[%d][%d] = %g", i, j, v)
+			}
+			row += v
+		}
+		if math.Abs(row) > tol {
+			return fmt.Errorf("markov: row %d sums to %g, want 0", i, row)
+		}
+	}
+	return nil
+}
+
+// CompleteDiagonal sets each diagonal entry of q to the negative sum of the
+// off-diagonal entries in its row, turning a rate matrix into a generator.
+func CompleteDiagonal(q *matrix.Dense) {
+	n := q.Rows()
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < n; j++ {
+			if j != i {
+				s += q.At(i, j)
+			}
+		}
+		q.Set(i, i, -s)
+	}
+}
+
+// MaxExitRate returns q_max = max_i |q_ii|, the uniformization rate.
+func MaxExitRate(q *matrix.Dense) float64 {
+	var mx float64
+	for i := 0; i < q.Rows(); i++ {
+		if r := -q.At(i, i); r > mx {
+			mx = r
+		}
+	}
+	return mx
+}
+
+// Uniformize returns the DTMC transition matrix P = Q/q + I of §2.4 along
+// with the uniformization rate q (slightly inflated above MaxExitRate so P
+// has strictly positive diagonal, which makes the embedded chain aperiodic).
+func Uniformize(q *matrix.Dense) (*matrix.Dense, float64) {
+	rate := MaxExitRate(q) * 1.0000001
+	if rate == 0 {
+		return matrix.Identity(q.Rows()), 0
+	}
+	p := matrix.Sum(matrix.Scaled(1/rate, q), matrix.Identity(q.Rows()))
+	return p, rate
+}
+
+// Transient returns the state distribution p(t) = p0·exp(Q·t), evaluated by
+// uniformization with the Poisson series truncated at absolute error ~1e-12.
+func Transient(q *matrix.Dense, p0 []float64, t float64) []float64 {
+	if t < 0 {
+		panic(fmt.Sprintf("markov: Transient at t = %g < 0", t))
+	}
+	if len(p0) != q.Rows() {
+		panic(fmt.Sprintf("markov: p0 has %d entries, generator %d states", len(p0), q.Rows()))
+	}
+	p, rate := Uniformize(q)
+	out := make([]float64, len(p0))
+	if rate == 0 || t == 0 {
+		copy(out, p0)
+		return out
+	}
+	qt := rate * t
+	v := append([]float64(nil), p0...)
+	logw := -qt
+	var cum float64
+	for k := 0; ; k++ {
+		w := math.Exp(logw)
+		for i := range out {
+			out[i] += w * v[i]
+		}
+		cum += w
+		// Stop once past the Poisson mode with either the mass accounted
+		// for or the weights negligible (rounding can leave 1−cum pinned
+		// above any tolerance, so the weight test is the backstop).
+		if float64(k) > qt && (1-cum < 1e-13 || w < 1e-17) {
+			break
+		}
+		v = matrix.VecMul(v, p)
+		logw += math.Log(qt) - math.Log(float64(k+1))
+	}
+	// Renormalize to absorb series truncation error.
+	if s := matrix.VecSum(out); s > 0 {
+		matrix.ScaleVec(1/s, out)
+	}
+	return out
+}

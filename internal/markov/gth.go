@@ -1,0 +1,80 @@
+package markov
+
+import (
+	"errors"
+
+	"repro/internal/matrix"
+)
+
+// ErrReducible is returned when a chain that must be irreducible is not.
+var ErrReducible = errors.New("markov: chain is not irreducible")
+
+// StationaryGTH solves πQ = 0, πe = 1 for an irreducible finite generator
+// using the Grassmann–Taksar–Heyman elimination. GTH performs no
+// subtractions, so it is backward stable even for stiff generators (rates
+// spanning many orders of magnitude), which matters here because quantum
+// rates and context-switch rates differ by ~100x in the paper's experiments.
+//
+// The same elimination applies verbatim to a DTMC transition matrix P by
+// passing Q = P − I; see StationaryDTMC.
+func StationaryGTH(q *matrix.Dense) ([]float64, error) {
+	n := q.Rows()
+	if q.Cols() != n {
+		panic("markov: StationaryGTH of non-square matrix")
+	}
+	if n == 0 {
+		return nil, errors.New("markov: empty chain")
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	a := q.Clone()
+	// Backward elimination of states n-1 … 1.
+	for k := n - 1; k >= 1; k-- {
+		var s float64
+		for j := 0; j < k; j++ {
+			s += a.At(k, j)
+		}
+		if s <= 0 {
+			// State k cannot reach the remaining states: reducible.
+			return nil, ErrReducible
+		}
+		for i := 0; i < k; i++ {
+			a.Set(i, k, a.At(i, k)/s)
+		}
+		for i := 0; i < k; i++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				a.Add(i, j, aik*a.At(k, j))
+			}
+		}
+	}
+	// Back substitution.
+	pi := make([]float64, n)
+	pi[0] = 1
+	for k := 1; k < n; k++ {
+		var s float64
+		for i := 0; i < k; i++ {
+			s += pi[i] * a.At(i, k)
+		}
+		pi[k] = s
+	}
+	total := matrix.VecSum(pi)
+	if total <= 0 {
+		return nil, ErrReducible
+	}
+	matrix.ScaleVec(1/total, pi)
+	return pi, nil
+}
+
+// StationaryDTMC solves πP = π, πe = 1 for an irreducible stochastic matrix
+// via GTH on P − I.
+func StationaryDTMC(p *matrix.Dense) ([]float64, error) {
+	return StationaryGTH(matrix.Diff(p, matrix.Identity(p.Rows())))
+}

@@ -1,0 +1,401 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+	"repro/internal/phase"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// mm1Generator builds the truncated M/M/1 generator on states 0..n-1.
+func mm1Generator(lambda, mu float64, n int) *matrix.Dense {
+	q := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			q.Set(i, i+1, lambda)
+		}
+		if i > 0 {
+			q.Set(i, i-1, mu)
+		}
+	}
+	CompleteDiagonal(q)
+	return q
+}
+
+func TestValidateGenerator(t *testing.T) {
+	q := mm1Generator(1, 2, 5)
+	if err := ValidateGenerator(q, 1e-12); err != nil {
+		t.Fatal(err)
+	}
+	bad := q.Clone()
+	bad.Set(0, 1, -1)
+	if err := ValidateGenerator(bad, 1e-12); err == nil {
+		t.Fatal("expected error for negative off-diagonal")
+	}
+	bad2 := q.Clone()
+	bad2.Set(0, 0, 5)
+	if err := ValidateGenerator(bad2, 1e-12); err == nil {
+		t.Fatal("expected error for nonzero row sum")
+	}
+	if err := ValidateGenerator(matrix.New(2, 3), 1e-12); err == nil {
+		t.Fatal("expected error for non-square")
+	}
+}
+
+func TestCompleteDiagonal(t *testing.T) {
+	q := matrix.New(2, 2)
+	q.Set(0, 1, 3)
+	q.Set(1, 0, 4)
+	CompleteDiagonal(q)
+	if q.At(0, 0) != -3 || q.At(1, 1) != -4 {
+		t.Fatalf("diagonal wrong: %v", q)
+	}
+}
+
+func TestStationaryGTHTwoState(t *testing.T) {
+	// Rates a: 0→1, b: 1→0 ⇒ π = (b, a)/(a+b).
+	q := matrix.New(2, 2)
+	q.Set(0, 1, 3)
+	q.Set(1, 0, 1)
+	CompleteDiagonal(q)
+	pi, err := StationaryGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(pi[0], 0.25, 1e-12) || !almostEq(pi[1], 0.75, 1e-12) {
+		t.Fatalf("pi = %v, want [0.25 0.75]", pi)
+	}
+}
+
+func TestStationaryGTHMM1(t *testing.T) {
+	// Truncated M/M/1 has geometric stationary distribution π_i ∝ ρ^i.
+	lambda, mu := 0.8, 2.0
+	rho := lambda / mu
+	const n = 30
+	pi, err := StationaryGTH(mm1Generator(lambda, mu, n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for i := 0; i < n; i++ {
+		norm += math.Pow(rho, float64(i))
+	}
+	for i := 0; i < n; i++ {
+		want := math.Pow(rho, float64(i)) / norm
+		if !almostEq(pi[i], want, 1e-10) {
+			t.Fatalf("pi[%d] = %g, want %g", i, pi[i], want)
+		}
+	}
+}
+
+func TestStationaryGTHBalance(t *testing.T) {
+	// πQ should be ~0 for a random irreducible generator.
+	rng := rand.New(rand.NewSource(3))
+	const n = 12
+	q := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				q.Set(i, j, rng.Float64()+0.01)
+			}
+		}
+	}
+	CompleteDiagonal(q)
+	pi, err := StationaryGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := matrix.VecMul(pi, q)
+	for i, v := range res {
+		if math.Abs(v) > 1e-12 {
+			t.Fatalf("residual[%d] = %g", i, v)
+		}
+	}
+	if !almostEq(matrix.VecSum(pi), 1, 1e-12) {
+		t.Fatalf("pi sums to %g", matrix.VecSum(pi))
+	}
+}
+
+func TestStationaryGTHStiff(t *testing.T) {
+	// Rates spanning 8 orders of magnitude; GTH must stay accurate.
+	q := matrix.New(3, 3)
+	q.Set(0, 1, 1e8)
+	q.Set(1, 2, 1)
+	q.Set(2, 0, 1e-4)
+	CompleteDiagonal(q)
+	pi, err := StationaryGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := matrix.VecMul(pi, q)
+	for _, v := range res {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("residual %v too large", res)
+		}
+	}
+}
+
+func TestStationaryGTHReducible(t *testing.T) {
+	// Two disconnected 1-cycles: reducible.
+	q := matrix.New(4, 4)
+	q.Set(0, 1, 1)
+	q.Set(1, 0, 1)
+	q.Set(2, 3, 1)
+	q.Set(3, 2, 1)
+	CompleteDiagonal(q)
+	if _, err := StationaryGTH(q); err != ErrReducible {
+		t.Fatalf("err = %v, want ErrReducible", err)
+	}
+}
+
+func TestStationaryDTMC(t *testing.T) {
+	p := matrix.NewFromRows([][]float64{{0.5, 0.5}, {0.2, 0.8}})
+	pi, err := StationaryDTMC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// π = (2/7, 5/7).
+	if !almostEq(pi[0], 2.0/7, 1e-12) || !almostEq(pi[1], 5.0/7, 1e-12) {
+		t.Fatalf("pi = %v, want [2/7 5/7]", pi)
+	}
+}
+
+func TestUniformizeStationaryEquivalence(t *testing.T) {
+	// §2.4: the uniformized DTMC has the same stationary vector as the CTMC.
+	q := mm1Generator(1, 3, 10)
+	p, rate := Uniformize(q)
+	if rate <= 0 {
+		t.Fatalf("rate = %g", rate)
+	}
+	piC, err := StationaryGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piD, err := StationaryDTMC(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range piC {
+		if !almostEq(piC[i], piD[i], 1e-10) {
+			t.Fatalf("pi mismatch at %d: %g vs %g", i, piC[i], piD[i])
+		}
+	}
+}
+
+func TestUniformizeRowsStochastic(t *testing.T) {
+	q := mm1Generator(2, 5, 8)
+	p, _ := Uniformize(q)
+	for i, s := range p.RowSums() {
+		if !almostEq(s, 1, 1e-12) {
+			t.Fatalf("row %d sums to %g", i, s)
+		}
+	}
+	for i := 0; i < p.Rows(); i++ {
+		for j := 0; j < p.Cols(); j++ {
+			if p.At(i, j) < 0 {
+				t.Fatalf("negative P[%d][%d] = %g", i, j, p.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransientConvergesToStationary(t *testing.T) {
+	q := mm1Generator(1, 2, 12)
+	p0 := make([]float64, 12)
+	p0[0] = 1
+	pt := Transient(q, p0, 200)
+	pi, err := StationaryGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range pi {
+		if !almostEq(pt[i], pi[i], 1e-6) {
+			t.Fatalf("transient(200)[%d] = %g, stationary %g", i, pt[i], pi[i])
+		}
+	}
+}
+
+func TestTransientTwoStateExact(t *testing.T) {
+	// Two-state chain 0↔1 with rates a, b:
+	// p00(t) = b/(a+b) + a/(a+b)·e^{−(a+b)t}.
+	a, b := 2.0, 3.0
+	q := matrix.New(2, 2)
+	q.Set(0, 1, a)
+	q.Set(1, 0, b)
+	CompleteDiagonal(q)
+	for _, tm := range []float64{0.1, 0.5, 1, 2} {
+		pt := Transient(q, []float64{1, 0}, tm)
+		want := b/(a+b) + a/(a+b)*math.Exp(-(a+b)*tm)
+		if !almostEq(pt[0], want, 1e-9) {
+			t.Fatalf("p00(%g) = %g, want %g", tm, pt[0], want)
+		}
+	}
+}
+
+func TestTransientAtZero(t *testing.T) {
+	q := mm1Generator(1, 2, 4)
+	p0 := []float64{0, 1, 0, 0}
+	pt := Transient(q, p0, 0)
+	for i := range p0 {
+		if pt[i] != p0[i] {
+			t.Fatalf("Transient(0) changed the distribution: %v", pt)
+		}
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// 0→1→2→0 is one SCC; 3 is its own (only reachable from 2).
+	adj := map[[2]int]bool{{0, 1}: true, {1, 2}: true, {2, 0}: true, {2, 3}: true}
+	comps := StronglyConnectedComponents(4, func(i, j int) bool { return adj[[2]int{i, j}] })
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2", len(comps))
+	}
+	sizes := []int{len(comps[0]), len(comps[1])}
+	if !((sizes[0] == 1 && sizes[1] == 3) || (sizes[0] == 3 && sizes[1] == 1)) {
+		t.Fatalf("component sizes %v, want {1,3}", sizes)
+	}
+}
+
+func TestSCCLargeCycleIterative(t *testing.T) {
+	// A 20000-node cycle would blow a recursive Tarjan's stack.
+	const n = 20000
+	comps := StronglyConnectedComponents(n, func(i, j int) bool { return j == (i+1)%n })
+	if len(comps) != 1 || len(comps[0]) != n {
+		t.Fatalf("cycle should be one SCC of size %d", n)
+	}
+}
+
+func TestIsIrreducible(t *testing.T) {
+	if !IsIrreducible(mm1Generator(1, 1, 6), 1e-15) {
+		t.Fatal("M/M/1 chain should be irreducible")
+	}
+	q := matrix.New(3, 3)
+	q.Set(0, 1, 1)
+	q.Set(1, 0, 1)
+	// state 2 isolated
+	CompleteDiagonal(q)
+	if IsIrreducible(q, 1e-15) {
+		t.Fatal("chain with isolated state should be reducible")
+	}
+	if IsIrreducible(matrix.New(0, 0), 1e-15) {
+		t.Fatal("empty chain should not be irreducible")
+	}
+}
+
+func TestAbsorbingChainMatchesPhaseType(t *testing.T) {
+	// Absorption-time moments of the chain underlying a PH distribution
+	// must equal the distribution's moments.
+	d := phase.Convolve(phase.Erlang(3, 1.5), phase.Exponential(0.7))
+	c, err := NewAbsorbingChain(d.S)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := c.AbsorptionMoments(d.Alpha, 3)
+	for k := 1; k <= 3; k++ {
+		if !almostEq(ms[k-1], d.Moment(k), 1e-9*(1+d.Moment(k))) {
+			t.Fatalf("moment %d = %g, want %g", k, ms[k-1], d.Moment(k))
+		}
+	}
+	if !almostEq(c.MeanAbsorptionTime(d.Alpha), d.Mean(), 1e-10) {
+		t.Fatal("MeanAbsorptionTime disagrees with Mean")
+	}
+}
+
+func TestAbsorbingChainRejectsNonAbsorbing(t *testing.T) {
+	// A zero subgenerator never absorbs.
+	if _, err := NewAbsorbingChain(matrix.New(2, 2)); err == nil {
+		t.Fatal("expected error for non-absorbing subgenerator")
+	}
+}
+
+func TestExpectedVisits(t *testing.T) {
+	// Single transient state with exit rate 2: expected time = 1/2.
+	tmat := matrix.New(1, 1)
+	tmat.Set(0, 0, -2)
+	c, err := NewAbsorbingChain(tmat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := c.ExpectedVisits([]float64{1})
+	if !almostEq(v[0], 0.5, 1e-12) {
+		t.Fatalf("visits = %v, want [0.5]", v)
+	}
+}
+
+func TestAbsorptionProbabilities(t *testing.T) {
+	// One transient state exits to target A at rate 1 and target B at rate 3.
+	tmat := matrix.New(1, 1)
+	tmat.Set(0, 0, -4)
+	c, err := NewAbsorbingChain(tmat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := matrix.NewFromRows([][]float64{{1, 3}})
+	probs := c.AbsorptionProbabilities([]float64{1}, b)
+	if !almostEq(probs[0], 0.25, 1e-12) || !almostEq(probs[1], 0.75, 1e-12) {
+		t.Fatalf("probs = %v, want [0.25 0.75]", probs)
+	}
+}
+
+func TestPropertyGTHBalanceRandom(t *testing.T) {
+	f := func(seed int64, szRaw uint8) bool {
+		n := int(szRaw%8) + 2
+		rng := rand.New(rand.NewSource(seed))
+		q := matrix.New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j {
+					q.Set(i, j, rng.Float64()*2+1e-3)
+				}
+			}
+		}
+		CompleteDiagonal(q)
+		pi, err := StationaryGTH(q)
+		if err != nil {
+			return false
+		}
+		if !almostEq(matrix.VecSum(pi), 1, 1e-10) {
+			return false
+		}
+		for _, v := range matrix.VecMul(pi, q) {
+			if math.Abs(v) > 1e-9 {
+				return false
+			}
+		}
+		for _, p := range pi {
+			if p <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTransientIsDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := mm1Generator(0.5+rng.Float64()*2, 0.5+rng.Float64()*3, 8)
+		p0 := make([]float64, 8)
+		p0[rng.Intn(8)] = 1
+		pt := Transient(q, p0, rng.Float64()*5)
+		var s float64
+		for _, v := range pt {
+			if v < -1e-12 {
+				return false
+			}
+			s += v
+		}
+		return almostEq(s, 1, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,108 @@
+package markov
+
+import "repro/internal/matrix"
+
+// StronglyConnectedComponents returns the strongly connected components of
+// the directed graph whose edge (i, j) exists when adj(i, j) is true, using
+// an iterative Tarjan algorithm (no recursion, so state spaces of any size
+// are safe). Components are returned in reverse topological order.
+func StronglyConnectedComponents(n int, adj func(i, j int) bool) [][]int {
+	succ := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && adj(i, j) {
+				succ[i] = append(succ[i], j)
+			}
+		}
+	}
+	return sccFromAdj(succ)
+}
+
+func sccFromAdj(succ [][]int) [][]int {
+	n := len(succ)
+	const unvisited = -1
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		stack  []int
+		comps  [][]int
+		next   int
+		frames []frame
+	)
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames = append(frames[:0], frame{v: root})
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			v := f.v
+			if f.edge == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.edge < len(succ[v]) {
+				w := succ[v][f.edge]
+				f.edge++
+				if index[w] == unvisited {
+					frames = append(frames, frame{v: w})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := frames[len(frames)-1].v
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return comps
+}
+
+type frame struct {
+	v    int
+	edge int
+}
+
+// IsIrreducible reports whether the generator's transition graph is a
+// single strongly connected component. Entries above tol count as edges.
+func IsIrreducible(q *matrix.Dense, tol float64) bool {
+	n := q.Rows()
+	if n == 0 {
+		return false
+	}
+	comps := StronglyConnectedComponents(n, func(i, j int) bool {
+		return q.At(i, j) > tol
+	})
+	return len(comps) == 1
+}

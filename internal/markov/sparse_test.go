@@ -1,0 +1,81 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// sparseFromDense splits a dense generator into the transposed CSR
+// off-diagonal structure plus the diagonal vector StationarySparse wants.
+func sparseFromDense(q *matrix.Dense) (*matrix.Sparse, []float64) {
+	n := q.Rows()
+	coo := matrix.NewCOO(n, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				diag[i] = q.At(i, i)
+				continue
+			}
+			coo.Add(j, i, q.At(i, j)) // transposed
+		}
+	}
+	return coo.ToCSR(), diag
+}
+
+func TestStationarySparseMatchesGTH(t *testing.T) {
+	q := mm1Generator(0.8, 2, 40)
+	qt, diag := sparseFromDense(q)
+	pi, err := StationarySparse(qt, diag, 1e-13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := StationaryGTH(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(pi[i]-want[i]) > 1e-9 {
+			t.Fatalf("pi[%d] = %g, GTH %g", i, pi[i], want[i])
+		}
+	}
+	if res := SparseResidual(qt, diag, pi); res > 1e-10 {
+		t.Fatalf("residual %g", res)
+	}
+}
+
+func TestStationarySparseTwoState(t *testing.T) {
+	q := matrix.New(2, 2)
+	q.Set(0, 1, 3)
+	q.Set(1, 0, 1)
+	CompleteDiagonal(q)
+	qt, diag := sparseFromDense(q)
+	pi, err := StationarySparse(qt, diag, 1e-13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pi[0]-0.25) > 1e-10 || math.Abs(pi[1]-0.75) > 1e-10 {
+		t.Fatalf("pi = %v", pi)
+	}
+}
+
+func TestStationarySparseRejectsBadDiag(t *testing.T) {
+	qt, diag := sparseFromDense(mm1Generator(1, 2, 5))
+	diag[2] = 0
+	if _, err := StationarySparse(qt, diag, 1e-12, 100); err == nil {
+		t.Fatal("expected non-negative diagonal error")
+	}
+	if _, err := StationarySparse(qt, diag[:2], 1e-12, 100); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestStationarySparseNoConverge(t *testing.T) {
+	qt, diag := sparseFromDense(mm1Generator(0.99, 1, 200))
+	// One sweep cannot converge a 200-state near-critical chain.
+	if _, err := StationarySparse(qt, diag, 1e-15, 1); err != matrix.ErrNoConverge {
+		t.Fatalf("err = %v, want ErrNoConverge", err)
+	}
+}

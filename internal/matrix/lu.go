@@ -1,0 +1,182 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a linear system has a (numerically) singular
+// coefficient matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
+// unit lower triangular and U upper triangular, packed into a single matrix.
+type LU struct {
+	lu   *Dense
+	piv  []int // row i of the factorization came from row piv[i] of A
+	sign int
+}
+
+// Factorize computes the LU factorization of the square matrix a.
+func Factorize(a *Dense) (*LU, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: Factorize of non-square %dx%d", a.rows, a.cols))
+	}
+	n := a.rows
+	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	for i := range f.piv {
+		f.piv[i] = i
+	}
+	lu := f.lu.data
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest |entry| in column k at or below the diagonal.
+		p, mx := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(lu[i*n+k]); a > mx {
+				p, mx = i, a
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			f.piv[k], f.piv[p] = f.piv[p], f.piv[k]
+			f.sign = -f.sign
+		}
+		pivot := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / pivot
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// SolveVec solves A·x = b for x.
+func (f *LU) SolveVec(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: SolveVec length mismatch %d vs %d", len(b), n))
+	}
+	lu := f.lu.data
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = b[f.piv[i]]
+	}
+	// Forward substitution with unit lower triangle.
+	for i := 1; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] -= s
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += lu[i*n+j] * x[j]
+		}
+		x[i] = (x[i] - s) / lu[i*n+i]
+	}
+	return x
+}
+
+// Solve solves A·X = B column by column.
+func (f *LU) Solve(b *Dense) *Dense {
+	if b.rows != f.lu.rows {
+		panic(fmt.Sprintf("matrix: Solve row mismatch %d vs %d", b.rows, f.lu.rows))
+	}
+	x := New(b.rows, b.cols)
+	for j := 0; j < b.cols; j++ {
+		col := f.SolveVec(b.Col(j))
+		for i, v := range col {
+			x.data[i*x.cols+j] = v
+		}
+	}
+	return x
+}
+
+// SolveTransposed solves Aᵀ·x = b using the factorization of A.
+// With P·A = L·U we have Aᵀ = Uᵀ·Lᵀ·P, so the solve is a forward
+// substitution with Uᵀ, a back substitution with Lᵀ, and a permutation.
+func (f *LU) SolveTransposed(b []float64) []float64 {
+	n := f.lu.rows
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: SolveTransposed length mismatch %d vs %d", len(b), n))
+	}
+	lu := f.lu.data
+	z := append([]float64(nil), b...)
+	// Forward substitution with Uᵀ (lower triangular, diagonal of U).
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < i; j++ {
+			s += lu[j*n+i] * z[j]
+		}
+		z[i] = (z[i] - s) / lu[i*n+i]
+	}
+	// Back substitution with Lᵀ (unit upper triangular).
+	for i := n - 1; i >= 0; i-- {
+		var s float64
+		for j := i + 1; j < n; j++ {
+			s += lu[j*n+i] * z[j]
+		}
+		z[i] -= s
+	}
+	// Undo the row permutation: x[piv[i]] = z[i].
+	x := make([]float64, n)
+	for i, p := range f.piv {
+		x[p] = z[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factorized matrix.
+func (f *LU) Det() float64 {
+	n := f.lu.rows
+	d := float64(f.sign)
+	for i := 0; i < n; i++ {
+		d *= f.lu.data[i*n+i]
+	}
+	return d
+}
+
+// Solve solves A·X = B.
+func Solve(a, b *Dense) (*Dense, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// SolveVec solves A·x = b.
+func SolveVec(a *Dense, b []float64) ([]float64, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveVec(b), nil
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Dense) (*Dense, error) {
+	return Solve(a, Identity(a.rows))
+}
+
+// SolveTransposedVec solves xᵀ·A = bᵀ, i.e. Aᵀ·x = b, without forming Aᵀ
+// explicitly at the call site. Used for left eigenvector / stationary-vector
+// style systems.
+func SolveTransposedVec(a *Dense, b []float64) ([]float64, error) {
+	return SolveVec(a.Transpose(), b)
+}

@@ -1,0 +1,371 @@
+// Package matrix provides the dense linear-algebra kernel used by the
+// phase-type, Markov-chain and matrix-geometric (QBD) machinery.
+//
+// The package implements exactly what the gang-scheduling analysis needs —
+// real dense matrices, LU factorization with partial pivoting, linear
+// solves, inversion, power iteration for spectral radii — using only the
+// standard library. Dimension mismatches are programmer errors and panic;
+// numerical failures (singular systems, non-convergence) are reported as
+// errors.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Dense is a row-major dense matrix of float64.
+type Dense struct {
+	rows, cols int
+	data       []float64
+}
+
+// New returns a rows×cols zero matrix.
+func New(rows, cols int) *Dense {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative dimension %dx%d", rows, cols))
+	}
+	return &Dense{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewFromRows builds a matrix from a slice of equal-length rows.
+func NewFromRows(rows [][]float64) *Dense {
+	r := len(rows)
+	if r == 0 {
+		return New(0, 0)
+	}
+	c := len(rows[0])
+	m := New(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("matrix: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.data[i*c:(i+1)*c], row)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Dense {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on the diagonal.
+func Diag(d []float64) *Dense {
+	n := len(d)
+	m := New(n, n)
+	for i, v := range d {
+		m.data[i*n+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Dense) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Dense) Cols() int { return m.cols }
+
+// At returns element (i, j).
+func (m *Dense) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns element (i, j).
+func (m *Dense) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Add adds v to element (i, j).
+func (m *Dense) Add(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Dense) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy.
+func (m *Dense) Clone() *Dense {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Dense) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("matrix: row %d out of range %d", i, m.rows))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Dense) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: col %d out of range %d", j, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := range out {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Sum returns C = A + B.
+func Sum(a, b *Dense) *Dense {
+	sameShape(a, b)
+	c := New(a.rows, a.cols)
+	for i := range c.data {
+		c.data[i] = a.data[i] + b.data[i]
+	}
+	return c
+}
+
+// Diff returns C = A − B.
+func Diff(a, b *Dense) *Dense {
+	sameShape(a, b)
+	c := New(a.rows, a.cols)
+	for i := range c.data {
+		c.data[i] = a.data[i] - b.data[i]
+	}
+	return c
+}
+
+// Scaled returns s·A.
+func Scaled(s float64, a *Dense) *Dense {
+	c := New(a.rows, a.cols)
+	for i := range c.data {
+		c.data[i] = s * a.data[i]
+	}
+	return c
+}
+
+// AccumScaled adds s·B to A in place.
+func (m *Dense) AccumScaled(s float64, b *Dense) {
+	sameShape(m, b)
+	for i := range m.data {
+		m.data[i] += s * b.data[i]
+	}
+}
+
+func sameShape(a, b *Dense) {
+	if a.rows != b.rows || a.cols != b.cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns C = A·B.
+func Mul(a, b *Dense) *Dense {
+	if a.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
+	}
+	c := New(a.rows, b.cols)
+	// ikj loop order keeps the inner loop streaming over contiguous rows of b.
+	for i := 0; i < a.rows; i++ {
+		ci := c.data[i*c.cols : (i+1)*c.cols]
+		for k := 0; k < a.cols; k++ {
+			aik := a.data[i*a.cols+k]
+			if aik == 0 {
+				continue
+			}
+			bk := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range bk {
+				ci[j] += aik * bv
+			}
+		}
+	}
+	return c
+}
+
+// MulVec returns A·x (column-vector product).
+func MulVec(a *Dense, x []float64) []float64 {
+	if a.cols != len(x) {
+		panic(fmt.Sprintf("matrix: MulVec dimension mismatch %dx%d · %d", a.rows, a.cols, len(x)))
+	}
+	y := make([]float64, a.rows)
+	for i := 0; i < a.rows; i++ {
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// VecMul returns xᵀ·A (row-vector product).
+func VecMul(x []float64, a *Dense) []float64 {
+	if a.rows != len(x) {
+		panic(fmt.Sprintf("matrix: VecMul dimension mismatch %d · %dx%d", len(x), a.rows, a.cols))
+	}
+	y := make([]float64, a.cols)
+	for i, xi := range x {
+		if xi == 0 {
+			continue
+		}
+		row := a.data[i*a.cols : (i+1)*a.cols]
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// Transpose returns Aᵀ.
+func (m *Dense) Transpose() *Dense {
+	t := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			t.data[j*t.cols+i] = m.data[i*m.cols+j]
+		}
+	}
+	return t
+}
+
+// RowSums returns the vector of row sums (A·e).
+func (m *Dense) RowSums() []float64 {
+	s := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var t float64
+		for _, v := range row {
+			t += v
+		}
+		s[i] = t
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element, 0 for an empty matrix.
+func (m *Dense) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// InfNorm returns the maximum absolute row sum.
+func (m *Dense) InfNorm() float64 {
+	var mx float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for _, v := range m.data[i*m.cols : (i+1)*m.cols] {
+			s += math.Abs(v)
+		}
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// EqualApprox reports whether A and B agree elementwise within tol.
+func EqualApprox(a, b *Dense, tol float64) bool {
+	if a.rows != b.rows || a.cols != b.cols {
+		return false
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Embed copies src into m with its (0,0) at (ri, cj).
+func (m *Dense) Embed(ri, cj int, src *Dense) {
+	if ri < 0 || cj < 0 || ri+src.rows > m.rows || cj+src.cols > m.cols {
+		panic(fmt.Sprintf("matrix: Embed %dx%d at (%d,%d) exceeds %dx%d",
+			src.rows, src.cols, ri, cj, m.rows, m.cols))
+	}
+	for i := 0; i < src.rows; i++ {
+		copy(m.data[(ri+i)*m.cols+cj:(ri+i)*m.cols+cj+src.cols],
+			src.data[i*src.cols:(i+1)*src.cols])
+	}
+}
+
+// Slice returns a copy of the sub-matrix with rows [r0,r1) and cols [c0,c1).
+func (m *Dense) Slice(r0, r1, c0, c1 int) *Dense {
+	if r0 < 0 || r1 > m.rows || c0 < 0 || c1 > m.cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("matrix: Slice [%d:%d,%d:%d] of %dx%d", r0, r1, c0, c1, m.rows, m.cols))
+	}
+	s := New(r1-r0, c1-c0)
+	for i := r0; i < r1; i++ {
+		copy(s.data[(i-r0)*s.cols:(i-r0+1)*s.cols], m.data[i*m.cols+c0:i*m.cols+c1])
+	}
+	return s
+}
+
+// String renders the matrix for debugging.
+func (m *Dense) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%dx%d[", m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%.6g", m.data[i*m.cols+j])
+		}
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Ones returns the length-n vector of all ones.
+func Ones(n int) []float64 {
+	e := make([]float64, n)
+	for i := range e {
+		e[i] = 1
+	}
+	return e
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(x), len(y)))
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// VecSum returns the sum of the elements of x.
+func VecSum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// ScaleVec multiplies x by s in place and returns it.
+func ScaleVec(s float64, x []float64) []float64 {
+	for i := range x {
+		x[i] *= s
+	}
+	return x
+}

@@ -1,0 +1,146 @@
+package matrix
+
+import "fmt"
+
+// Sparse is a compressed-sparse-row matrix, built once from triplets and
+// then immutable. It backs the exact global chains whose state spaces are
+// far too large for dense storage.
+type Sparse struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	val        []float64
+}
+
+// COO accumulates triplets for Sparse construction. Duplicate entries are
+// summed.
+type COO struct {
+	rows, cols int
+	entries    map[[2]int]float64
+}
+
+// NewCOO creates an empty triplet accumulator.
+func NewCOO(rows, cols int) *COO {
+	return &COO{rows: rows, cols: cols, entries: make(map[[2]int]float64)}
+}
+
+// Add accumulates v at (i, j).
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.rows || j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("matrix: COO index (%d,%d) out of range %dx%d", i, j, c.rows, c.cols))
+	}
+	if v == 0 {
+		return
+	}
+	c.entries[[2]int{i, j}] += v
+}
+
+// NNZ returns the number of stored entries.
+func (c *COO) NNZ() int { return len(c.entries) }
+
+// ToCSR freezes the accumulator into a Sparse matrix.
+func (c *COO) ToCSR() *Sparse {
+	s := &Sparse{rows: c.rows, cols: c.cols, rowPtr: make([]int, c.rows+1)}
+	counts := make([]int, c.rows)
+	for k := range c.entries {
+		counts[k[0]]++
+	}
+	for i := 0; i < c.rows; i++ {
+		s.rowPtr[i+1] = s.rowPtr[i] + counts[i]
+	}
+	s.colIdx = make([]int, len(c.entries))
+	s.val = make([]float64, len(c.entries))
+	next := make([]int, c.rows)
+	copy(next, s.rowPtr[:c.rows])
+	for k, v := range c.entries {
+		p := next[k[0]]
+		s.colIdx[p] = k[1]
+		s.val[p] = v
+		next[k[0]]++
+	}
+	// Sort columns within each row for deterministic iteration.
+	for i := 0; i < c.rows; i++ {
+		lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+		insertionSortPair(s.colIdx[lo:hi], s.val[lo:hi])
+	}
+	return s
+}
+
+func insertionSortPair(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1], vals[j+1] = cols[j], vals[j]
+			j--
+		}
+		cols[j+1], vals[j+1] = c, v
+	}
+}
+
+// Rows returns the row count.
+func (s *Sparse) Rows() int { return s.rows }
+
+// Cols returns the column count.
+func (s *Sparse) Cols() int { return s.cols }
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.val) }
+
+// At returns element (i, j) (O(log nnz(row))).
+func (s *Sparse) At(i, j int) float64 {
+	lo, hi := s.rowPtr[i], s.rowPtr[i+1]
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case s.colIdx[mid] < j:
+			lo = mid + 1
+		case s.colIdx[mid] > j:
+			hi = mid
+		default:
+			return s.val[mid]
+		}
+	}
+	return 0
+}
+
+// MulVec returns A·x.
+func (s *Sparse) MulVec(x []float64) []float64 {
+	if len(x) != s.cols {
+		panic(fmt.Sprintf("matrix: sparse MulVec dimension mismatch %d vs %d", len(x), s.cols))
+	}
+	y := make([]float64, s.rows)
+	for i := 0; i < s.rows; i++ {
+		var acc float64
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			acc += s.val[p] * x[s.colIdx[p]]
+		}
+		y[i] = acc
+	}
+	return y
+}
+
+// VecMul returns xᵀ·A.
+func (s *Sparse) VecMul(x []float64) []float64 {
+	if len(x) != s.rows {
+		panic(fmt.Sprintf("matrix: sparse VecMul dimension mismatch %d vs %d", len(x), s.rows))
+	}
+	y := make([]float64, s.cols)
+	for i := 0; i < s.rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			y[s.colIdx[p]] += xi * s.val[p]
+		}
+	}
+	return y
+}
+
+// RowRange calls fn(j, v) for each stored entry of row i.
+func (s *Sparse) RowRange(i int, fn func(j int, v float64)) {
+	for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+		fn(s.colIdx[p], s.val[p])
+	}
+}

@@ -1,0 +1,120 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCOOToCSRRoundTrip(t *testing.T) {
+	c := NewCOO(3, 4)
+	c.Add(0, 1, 2)
+	c.Add(2, 3, 5)
+	c.Add(0, 1, 3) // duplicate accumulates
+	c.Add(1, 0, -1)
+	c.Add(0, 2, 0) // zero ignored
+	s := c.ToCSR()
+	if s.Rows() != 3 || s.Cols() != 4 {
+		t.Fatalf("dims %dx%d", s.Rows(), s.Cols())
+	}
+	if s.NNZ() != 3 {
+		t.Fatalf("nnz = %d, want 3", s.NNZ())
+	}
+	if s.At(0, 1) != 5 || s.At(2, 3) != 5 || s.At(1, 0) != -1 {
+		t.Fatalf("values wrong: %g %g %g", s.At(0, 1), s.At(2, 3), s.At(1, 0))
+	}
+	if s.At(0, 0) != 0 || s.At(0, 2) != 0 {
+		t.Fatal("missing entries should read as 0")
+	}
+}
+
+func TestCOOOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCOO(2, 2).Add(2, 0, 1)
+}
+
+func TestSparseMulVecMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n, m = 17, 23
+	d := New(n, m)
+	c := NewCOO(n, m)
+	for k := 0; k < 60; k++ {
+		i, j := rng.Intn(n), rng.Intn(m)
+		v := rng.NormFloat64()
+		d.Add(i, j, v)
+		c.Add(i, j, v)
+	}
+	s := c.ToCSR()
+	x := make([]float64, m)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := MulVec(d, x)
+	got := s.MulVec(x)
+	for i := range want {
+		if math.Abs(want[i]-got[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d]: %g vs %g", i, got[i], want[i])
+		}
+	}
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = rng.NormFloat64()
+	}
+	wantT := VecMul(y, d)
+	gotT := s.VecMul(y)
+	for j := range wantT {
+		if math.Abs(wantT[j]-gotT[j]) > 1e-12 {
+			t.Fatalf("VecMul[%d]: %g vs %g", j, gotT[j], wantT[j])
+		}
+	}
+}
+
+func TestSparseRowRangeSorted(t *testing.T) {
+	c := NewCOO(1, 10)
+	for _, j := range []int{7, 1, 4, 9, 0} {
+		c.Add(0, j, float64(j))
+	}
+	s := c.ToCSR()
+	prev := -1
+	s.RowRange(0, func(j int, v float64) {
+		if j <= prev {
+			t.Fatalf("columns not sorted: %d after %d", j, prev)
+		}
+		if v != float64(j) {
+			t.Fatalf("value mismatch at %d: %g", j, v)
+		}
+		prev = j
+	})
+}
+
+func TestPropertySparseDenseAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(10)
+		d := New(n, n)
+		c := NewCOO(n, n)
+		for k := 0; k < n*2; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			v := rng.NormFloat64()
+			d.Add(i, j, v)
+			c.Add(i, j, v)
+		}
+		s := c.ToCSR()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if math.Abs(s.At(i, j)-d.At(i, j)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,150 @@
+package phase
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// FitEMOptions tune the EM fit.
+type FitEMOptions struct {
+	// Components is the number of exponential mixture components
+	// (default 2).
+	Components int
+	// MaxIter bounds the EM iterations (default 500).
+	MaxIter int
+	// Tol is the relative log-likelihood improvement at which EM stops
+	// (default 1e-9).
+	Tol float64
+}
+
+// FitHyperExpEM fits a hyperexponential distribution to empirical data by
+// expectation-maximization — the moment-free route the paper's §3.2 cites
+// for calibrating the model against measured workloads (refs [2, 15, 16]).
+// The mixture structure suits the heavy-tailed, high-variability service
+// times typical of parallel workloads; use FitMeanSCV when only summary
+// moments are available, and FitEmpirical to choose between them
+// automatically.
+func FitHyperExpEM(data []float64, opts FitEMOptions) (*Dist, error) {
+	if opts.Components <= 0 {
+		opts.Components = 2
+	}
+	if opts.MaxIter <= 0 {
+		opts.MaxIter = 500
+	}
+	if opts.Tol <= 0 {
+		opts.Tol = 1e-9
+	}
+	k := opts.Components
+	n := len(data)
+	if n < 2*k {
+		return nil, fmt.Errorf("phase: %d observations cannot support %d components", n, k)
+	}
+	for _, x := range data {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("phase: non-positive or non-finite observation %g", x)
+		}
+	}
+
+	// Initialize from data quantile bands: component j covers the j-th
+	// n/k-tile, giving well-separated deterministic starting rates.
+	sorted := append([]float64(nil), data...)
+	sort.Float64s(sorted)
+	probs := make([]float64, k)
+	rates := make([]float64, k)
+	for j := 0; j < k; j++ {
+		lo, hi := j*n/k, (j+1)*n/k
+		var mean float64
+		for _, x := range sorted[lo:hi] {
+			mean += x
+		}
+		mean /= float64(hi - lo)
+		probs[j] = 1 / float64(k)
+		rates[j] = 1 / mean
+	}
+
+	resp := make([]float64, k)
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// E-step folded with M-step accumulators.
+		sumResp := make([]float64, k)
+		sumRespX := make([]float64, k)
+		var ll float64
+		for _, x := range data {
+			var total float64
+			for j := 0; j < k; j++ {
+				d := probs[j] * rates[j] * math.Exp(-rates[j]*x)
+				resp[j] = d
+				total += d
+			}
+			if total <= 0 {
+				total = math.SmallestNonzeroFloat64
+			}
+			ll += math.Log(total)
+			for j := 0; j < k; j++ {
+				r := resp[j] / total
+				sumResp[j] += r
+				sumRespX[j] += r * x
+			}
+		}
+		for j := 0; j < k; j++ {
+			if sumResp[j] < 1e-12 {
+				// Dead component: retire it to negligible weight.
+				probs[j] = 1e-12
+				continue
+			}
+			probs[j] = sumResp[j] / float64(n)
+			rates[j] = sumResp[j] / sumRespX[j]
+		}
+		if ll-prevLL < opts.Tol*math.Abs(ll) && iter > 0 {
+			break
+		}
+		prevLL = ll
+	}
+
+	// Renormalize weights and drop dead components.
+	var outP, outR []float64
+	var mass float64
+	for j := 0; j < k; j++ {
+		if probs[j] > 1e-9 {
+			outP = append(outP, probs[j])
+			outR = append(outR, rates[j])
+			mass += probs[j]
+		}
+	}
+	if len(outP) == 0 {
+		return nil, fmt.Errorf("phase: EM degenerated to no components")
+	}
+	for i := range outP {
+		outP[i] /= mass
+	}
+	return HyperExponential(outP, outR), nil
+}
+
+// FitEmpirical fits a phase-type distribution to data: a hyperexponential
+// by EM when the sample SCV exceeds one, otherwise a two-moment
+// Erlang-mixture fit. It is the one-call calibration entry point.
+func FitEmpirical(data []float64) (*Dist, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("phase: need at least 4 observations, have %d", len(data))
+	}
+	var sum, sum2 float64
+	for _, x := range data {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("phase: non-positive or non-finite observation %g", x)
+		}
+		sum += x
+		sum2 += x * x
+	}
+	n := float64(len(data))
+	mean := sum / n
+	varr := sum2/n - mean*mean
+	scv := varr / (mean * mean)
+	if scv > 1.05 {
+		return FitHyperExpEM(data, FitEMOptions{})
+	}
+	if scv < 1e-6 {
+		scv = 1e-6
+	}
+	return FitMeanSCV(mean, scv)
+}

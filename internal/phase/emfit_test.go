@@ -1,0 +1,103 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFitHyperExpEMRecoversMixture(t *testing.T) {
+	// Sample a known H2 and refit; the recovered distribution should match
+	// the true mean and SCV closely.
+	truth := HyperExponential([]float64{0.3, 0.7}, []float64{0.2, 2.5})
+	rng := rand.New(rand.NewSource(17))
+	smp := NewSampler(truth)
+	data := smp.SampleN(rng, 60000)
+
+	fit, err := FitHyperExpEM(data, FitEMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean()-truth.Mean())/truth.Mean() > 0.03 {
+		t.Fatalf("mean: fit %g, truth %g", fit.Mean(), truth.Mean())
+	}
+	if math.Abs(fit.SCV()-truth.SCV())/truth.SCV() > 0.10 {
+		t.Fatalf("scv: fit %g, truth %g", fit.SCV(), truth.SCV())
+	}
+	// CDF agreement at a few probes.
+	for _, x := range []float64{0.2, 1, 3, 8} {
+		if math.Abs(fit.CDF(x)-truth.CDF(x)) > 0.02 {
+			t.Fatalf("CDF(%g): fit %g, truth %g", x, fit.CDF(x), truth.CDF(x))
+		}
+	}
+}
+
+func TestFitHyperExpEMExponentialData(t *testing.T) {
+	// Pure exponential data: the two components should collapse onto (or
+	// split evenly around) the single true rate; mean must match.
+	rng := rand.New(rand.NewSource(23))
+	data := make([]float64, 30000)
+	for i := range data {
+		data[i] = rng.ExpFloat64() / 1.5
+	}
+	fit, err := FitHyperExpEM(data, FitEMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean()-1.0/1.5) > 0.02 {
+		t.Fatalf("mean %g, want %g", fit.Mean(), 1.0/1.5)
+	}
+	if fit.SCV() > 1.1 {
+		t.Fatalf("scv %g for exponential data", fit.SCV())
+	}
+}
+
+func TestFitHyperExpEMThreeComponents(t *testing.T) {
+	truth := HyperExponential([]float64{0.2, 0.3, 0.5}, []float64{0.1, 1, 10})
+	rng := rand.New(rand.NewSource(31))
+	data := NewSampler(truth).SampleN(rng, 80000)
+	fit, err := FitHyperExpEM(data, FitEMOptions{Components: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Mean()-truth.Mean())/truth.Mean() > 0.05 {
+		t.Fatalf("mean: fit %g, truth %g", fit.Mean(), truth.Mean())
+	}
+}
+
+func TestFitHyperExpEMRejectsBadData(t *testing.T) {
+	if _, err := FitHyperExpEM([]float64{1, 2, 3}, FitEMOptions{Components: 2}); err == nil {
+		t.Fatal("expected too-few-observations error")
+	}
+	if _, err := FitHyperExpEM([]float64{1, -2, 3, 4, 5}, FitEMOptions{}); err == nil {
+		t.Fatal("expected negative-observation error")
+	}
+	if _, err := FitHyperExpEM([]float64{1, math.NaN(), 3, 4}, FitEMOptions{}); err == nil {
+		t.Fatal("expected NaN error")
+	}
+}
+
+func TestFitEmpiricalRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	// Low-variability data (Erlang-4) should route to the moment fit.
+	low := NewSampler(Erlang(4, 1)).SampleN(rng, 20000)
+	fitLow, err := FitEmpirical(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitLow.SCV() > 0.6 {
+		t.Fatalf("low-variability fit has SCV %g", fitLow.SCV())
+	}
+	// High-variability data should route to EM.
+	high := NewSampler(HyperExponential([]float64{0.5, 0.5}, []float64{0.2, 5})).SampleN(rng, 20000)
+	fitHigh, err := FitEmpirical(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitHigh.SCV() < 1.2 {
+		t.Fatalf("high-variability fit has SCV %g", fitHigh.SCV())
+	}
+	if _, err := FitEmpirical([]float64{1, 2}); err == nil {
+		t.Fatal("expected too-few error")
+	}
+}

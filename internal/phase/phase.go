@@ -1,0 +1,271 @@
+// Package phase implements continuous phase-type (PH) distributions — the
+// parameter class the gang-scheduling model of Squillante, Wang &
+// Papaefthymiou (SPAA '96) assumes for interarrival times, service demands,
+// quantum lengths and context-switch overheads (paper §2.5, §3.2).
+//
+// A PH(α, S) distribution of order m is the time to absorption of a
+// continuous-time Markov chain on m transient states with subgenerator S,
+// exit-rate vector s⁰ = −S·e and initial probability vector α. The package
+// provides the standard families (exponential, Erlang, hyperexponential,
+// Coxian), closure under convolution (paper Theorem 2.5), moments, CDF
+// evaluation via uniformization, two-moment fitting, and exact sampling.
+package phase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// Dist is a continuous phase-type distribution PH(α, S).
+//
+// Alpha may sum to less than one; the deficit is an atom at zero (the chain
+// starts absorbed). S must be a subgenerator: non-negative off-diagonal,
+// strictly negative diagonal, non-positive row sums.
+type Dist struct {
+	Alpha []float64
+	S     *matrix.Dense
+}
+
+// New constructs a PH distribution and validates the representation.
+func New(alpha []float64, s *matrix.Dense) (*Dist, error) {
+	d := &Dist{Alpha: alpha, S: s}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// MustNew is New, panicking on invalid representations. For package-internal
+// constructors whose output is correct by construction.
+func MustNew(alpha []float64, s *matrix.Dense) *Dist {
+	d, err := New(alpha, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Order returns the number of transient phases m.
+func (d *Dist) Order() int { return len(d.Alpha) }
+
+// Validate checks that (α, S) is a proper PH representation.
+func (d *Dist) Validate() error {
+	m := len(d.Alpha)
+	if d.S == nil || d.S.Rows() != m || d.S.Cols() != m {
+		return fmt.Errorf("phase: S is %v, want %dx%d", d.S, m, m)
+	}
+	if m == 0 {
+		return errors.New("phase: empty representation")
+	}
+	var asum float64
+	for i, a := range d.Alpha {
+		if a < -1e-12 || a > 1+1e-12 {
+			return fmt.Errorf("phase: alpha[%d] = %g outside [0,1]", i, a)
+		}
+		asum += a
+	}
+	if asum > 1+1e-9 {
+		return fmt.Errorf("phase: alpha sums to %g > 1", asum)
+	}
+	for i := 0; i < m; i++ {
+		var row float64
+		for j := 0; j < m; j++ {
+			v := d.S.At(i, j)
+			if i == j {
+				if v >= 0 {
+					return fmt.Errorf("phase: S[%d][%d] = %g, diagonal must be negative", i, j, v)
+				}
+			} else if v < -1e-12 {
+				return fmt.Errorf("phase: S[%d][%d] = %g, off-diagonal must be non-negative", i, j, v)
+			}
+			row += v
+		}
+		if row > 1e-9 {
+			return fmt.Errorf("phase: row %d of S sums to %g > 0", i, row)
+		}
+	}
+	return nil
+}
+
+// ExitVector returns s⁰ = −S·e, the per-phase absorption rates.
+func (d *Dist) ExitVector() []float64 {
+	s0 := d.S.RowSums()
+	for i := range s0 {
+		s0[i] = -s0[i]
+		if s0[i] < 0 { // clamp tiny negative rounding
+			s0[i] = 0
+		}
+	}
+	return s0
+}
+
+// AtomAtZero returns the probability mass at zero, 1 − Σα.
+func (d *Dist) AtomAtZero() float64 {
+	p := 1 - matrix.VecSum(d.Alpha)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Mean returns E[X] = α·(−S)⁻¹·e.
+func (d *Dist) Mean() float64 { return d.Moment(1) }
+
+// Moment returns the k-th raw moment E[Xᵏ] = k!·α·(−S)⁻ᵏ·e.
+func (d *Dist) Moment(k int) float64 {
+	if k < 1 {
+		panic(fmt.Sprintf("phase: Moment(%d), want k >= 1", k))
+	}
+	// Solve (−S)·x = e repeatedly instead of forming the inverse.
+	f, err := matrix.Factorize(matrix.Scaled(-1, d.S))
+	if err != nil {
+		// A valid subgenerator is always non-singular; this is defensive.
+		panic(fmt.Sprintf("phase: singular subgenerator: %v", err))
+	}
+	x := matrix.Ones(d.Order())
+	fact := 1.0
+	for i := 1; i <= k; i++ {
+		x = f.SolveVec(x)
+		fact *= float64(i)
+	}
+	return fact * matrix.Dot(d.Alpha, x)
+}
+
+// Variance returns Var[X].
+func (d *Dist) Variance() float64 {
+	m1 := d.Moment(1)
+	return d.Moment(2) - m1*m1
+}
+
+// SCV returns the squared coefficient of variation Var[X]/E[X]².
+func (d *Dist) SCV() float64 {
+	m1 := d.Moment(1)
+	if m1 == 0 {
+		return 0
+	}
+	return d.Variance() / (m1 * m1)
+}
+
+// Rate returns 1/Mean, the distribution's rate parameter in the queueing
+// sense (e.g. μ_p = 1/E[B_p]).
+func (d *Dist) Rate() float64 { return 1 / d.Mean() }
+
+// Rescale returns a PH distribution with the same shape and mean c·E[X]
+// (time is stretched by c), by scaling the subgenerator by 1/c.
+func (d *Dist) Rescale(c float64) *Dist {
+	if c <= 0 {
+		panic(fmt.Sprintf("phase: Rescale(%g), want c > 0", c))
+	}
+	return &Dist{Alpha: append([]float64(nil), d.Alpha...), S: matrix.Scaled(1/c, d.S)}
+}
+
+// WithMean returns a copy rescaled to have the given mean.
+func (d *Dist) WithMean(mean float64) *Dist {
+	if mean <= 0 {
+		panic(fmt.Sprintf("phase: WithMean(%g), want mean > 0", mean))
+	}
+	return d.Rescale(mean / d.Mean())
+}
+
+// Clone returns a deep copy.
+func (d *Dist) Clone() *Dist {
+	return &Dist{Alpha: append([]float64(nil), d.Alpha...), S: d.S.Clone()}
+}
+
+// Convolve returns the distribution of the sum of independent PH variables,
+// per paper Theorem 2.5: for F = PH(ν_F, S_F) of order n_F and
+// G = PH(ν_G, S_G) of order n_G, F*G = PH([ν_F, 0], T) with
+//
+//	T = | S_F   s⁰_F·ν_G |
+//	    |  0       S_G   |
+//
+// Any atom at zero in F routes the initial vector into G's phases, and an
+// atom at zero in G contributes to F's exit going straight to absorption.
+func Convolve(f, g *Dist) *Dist {
+	nf, ng := f.Order(), g.Order()
+	t := matrix.New(nf+ng, nf+ng)
+	t.Embed(0, 0, f.S)
+	t.Embed(nf, nf, g.S)
+	s0 := f.ExitVector()
+	for i := 0; i < nf; i++ {
+		for j := 0; j < ng; j++ {
+			t.Set(i, nf+j, s0[i]*g.Alpha[j])
+		}
+	}
+	alpha := make([]float64, nf+ng)
+	copy(alpha, f.Alpha)
+	// F's atom at zero starts the clock inside G immediately.
+	if az := f.AtomAtZero(); az > 0 {
+		for j := 0; j < ng; j++ {
+			alpha[nf+j] += az * g.Alpha[j]
+		}
+	}
+	return &Dist{Alpha: alpha, S: t}
+}
+
+// ConvolveAll folds Convolve over a non-empty sequence.
+func ConvolveAll(ds ...*Dist) *Dist {
+	if len(ds) == 0 {
+		panic("phase: ConvolveAll of empty sequence")
+	}
+	acc := ds[0].Clone()
+	for _, d := range ds[1:] {
+		acc = Convolve(acc, d)
+	}
+	return acc
+}
+
+// CDF returns P[X ≤ t] = 1 − α·exp(S·t)·e, computed by uniformization with
+// adaptive truncation of the Poisson series (absolute error below ~1e-12).
+func (d *Dist) CDF(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	if t == 0 {
+		return d.AtomAtZero()
+	}
+	m := d.Order()
+	q := 0.0
+	for i := 0; i < m; i++ {
+		if r := -d.S.At(i, i); r > q {
+			q = r
+		}
+	}
+	if q == 0 {
+		return d.AtomAtZero()
+	}
+	// P = I + S/q (substochastic); survival = Σ_k Pois(k; qt) · α·Pᵏ·e.
+	p := matrix.Sum(matrix.Identity(m), matrix.Scaled(1/q, d.S))
+	v := append([]float64(nil), d.Alpha...) // α·Pᵏ as k grows
+	qt := q * t
+	logw := -qt // log Poisson weight at k=0
+	var surv, cum float64
+	for k := 0; ; k++ {
+		w := math.Exp(logw)
+		surv += w * matrix.VecSum(v)
+		cum += w
+		// Past the Poisson mode, stop when the mass is accounted for or
+		// the weights are negligible (rounding can pin 1−cum above tol).
+		if k > int(qt) && (1-cum < 1e-13 || w < 1e-17) {
+			break
+		}
+		v = matrix.VecMul(v, p)
+		logw += math.Log(qt) - math.Log(float64(k+1))
+	}
+	cdf := 1 - surv
+	switch {
+	case cdf < 0:
+		return 0
+	case cdf > 1:
+		return 1
+	}
+	return cdf
+}
+
+// String summarizes the distribution.
+func (d *Dist) String() string {
+	return fmt.Sprintf("PH(order=%d, mean=%.6g, scv=%.4g)", d.Order(), d.Mean(), d.SCV())
+}

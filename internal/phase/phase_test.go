@@ -1,0 +1,432 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestExponentialMoments(t *testing.T) {
+	d := Exponential(2)
+	if !almostEq(d.Mean(), 0.5, 1e-12) {
+		t.Fatalf("mean = %g, want 0.5", d.Mean())
+	}
+	if !almostEq(d.Moment(2), 2/4.0, 1e-12) { // E[X²] = 2/λ²
+		t.Fatalf("m2 = %g, want 0.5", d.Moment(2))
+	}
+	if !almostEq(d.SCV(), 1, 1e-12) {
+		t.Fatalf("scv = %g, want 1", d.SCV())
+	}
+	if !almostEq(d.Rate(), 2, 1e-12) {
+		t.Fatalf("rate = %g, want 2", d.Rate())
+	}
+}
+
+func TestExponentialCDF(t *testing.T) {
+	d := Exponential(1.5)
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5} {
+		want := 1 - math.Exp(-1.5*x)
+		if got := d.CDF(x); !almostEq(got, want, 1e-9) {
+			t.Fatalf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+	if d.CDF(-1) != 0 {
+		t.Fatal("CDF(-1) != 0")
+	}
+	if d.CDF(0) != 0 {
+		t.Fatal("CDF(0) != 0 for atomless dist")
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		d := Erlang(k, 2) // mean 1/2
+		if !almostEq(d.Mean(), 0.5, 1e-10) {
+			t.Fatalf("Erlang(%d) mean = %g, want 0.5", k, d.Mean())
+		}
+		if !almostEq(d.SCV(), 1/float64(k), 1e-10) {
+			t.Fatalf("Erlang(%d) scv = %g, want %g", k, d.SCV(), 1/float64(k))
+		}
+	}
+}
+
+func TestErlang2CDF(t *testing.T) {
+	// Erlang(2, mu) with mean 1/mu has stage rate r = 2mu:
+	// F(t) = 1 − e^{−rt}(1 + rt).
+	mu := 1.25
+	r := 2 * mu
+	d := Erlang(2, mu)
+	for _, x := range []float64{0.2, 0.8, 1.6, 3} {
+		want := 1 - math.Exp(-r*x)*(1+r*x)
+		if got := d.CDF(x); !almostEq(got, want, 1e-9) {
+			t.Fatalf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestErlangStages(t *testing.T) {
+	d := ErlangStages(3, 6) // 3 stages at rate 6: mean 0.5
+	if !almostEq(d.Mean(), 0.5, 1e-12) {
+		t.Fatalf("mean = %g, want 0.5", d.Mean())
+	}
+}
+
+func TestHyperExponential(t *testing.T) {
+	d := HyperExponential([]float64{0.4, 0.6}, []float64{1, 3})
+	wantMean := 0.4/1 + 0.6/3
+	if !almostEq(d.Mean(), wantMean, 1e-12) {
+		t.Fatalf("mean = %g, want %g", d.Mean(), wantMean)
+	}
+	if d.SCV() <= 1 {
+		t.Fatalf("hyperexponential scv = %g, want > 1", d.SCV())
+	}
+}
+
+func TestCoxian(t *testing.T) {
+	// Coxian that never continues == exponential of the first rate.
+	d := Coxian([]float64{2, 5}, []float64{0})
+	if !almostEq(d.Mean(), 0.5, 1e-12) {
+		t.Fatalf("mean = %g, want 0.5", d.Mean())
+	}
+	// Always continuing == hypoexponential sum of the stages.
+	d2 := Coxian([]float64{2, 5}, []float64{1})
+	if !almostEq(d2.Mean(), 0.5+0.2, 1e-12) {
+		t.Fatalf("mean = %g, want 0.7", d2.Mean())
+	}
+}
+
+func TestDeterministicApprox(t *testing.T) {
+	d := DeterministicApprox(3, 32)
+	if !almostEq(d.Mean(), 3, 1e-9) {
+		t.Fatalf("mean = %g, want 3", d.Mean())
+	}
+	if d.SCV() > 1.0/32+1e-9 {
+		t.Fatalf("scv = %g, want <= 1/32", d.SCV())
+	}
+}
+
+func TestConvolveMeansAdd(t *testing.T) {
+	f := Erlang(2, 1)      // mean 1
+	g := Exponential(0.25) // mean 4
+	c := Convolve(f, g)
+	if c.Order() != 3 {
+		t.Fatalf("order = %d, want 3 (Theorem 2.5: n_F + n_G)", c.Order())
+	}
+	if !almostEq(c.Mean(), 5, 1e-10) {
+		t.Fatalf("mean = %g, want 5", c.Mean())
+	}
+	if !almostEq(c.Variance(), f.Variance()+g.Variance(), 1e-10) {
+		t.Fatalf("var = %g, want %g", c.Variance(), f.Variance()+g.Variance())
+	}
+}
+
+func TestConvolveTwoExponentialsCDF(t *testing.T) {
+	// Hypoexponential(λ1, λ2): F(t) = 1 − (λ2 e^{−λ1 t} − λ1 e^{−λ2 t})/(λ2−λ1).
+	l1, l2 := 1.0, 3.0
+	c := Convolve(Exponential(l1), Exponential(l2))
+	for _, x := range []float64{0.3, 1, 2.5} {
+		want := 1 - (l2*math.Exp(-l1*x)-l1*math.Exp(-l2*x))/(l2-l1)
+		if got := c.CDF(x); !almostEq(got, want, 1e-9) {
+			t.Fatalf("CDF(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestConvolveWithAtomAtZero(t *testing.T) {
+	// F has an atom at zero of mass 0.3: with probability 0.3 the sum is just G.
+	s := matrix.New(1, 1)
+	s.Set(0, 0, -1)
+	f := MustNew([]float64{0.7}, s)
+	g := Exponential(2)
+	c := Convolve(f, g)
+	want := 0.7*1 + 0.5 // 0.7·E[Exp(1)] + E[Exp(2)]
+	if !almostEq(c.Mean(), want, 1e-10) {
+		t.Fatalf("mean = %g, want %g", c.Mean(), want)
+	}
+}
+
+func TestConvolveAll(t *testing.T) {
+	ds := []*Dist{Exponential(1), Exponential(2), Exponential(4)}
+	c := ConvolveAll(ds...)
+	if c.Order() != 3 {
+		t.Fatalf("order = %d, want 3", c.Order())
+	}
+	if !almostEq(c.Mean(), 1+0.5+0.25, 1e-10) {
+		t.Fatalf("mean = %g, want 1.75", c.Mean())
+	}
+}
+
+func TestRescaleWithMean(t *testing.T) {
+	d := Erlang(3, 2)
+	r := d.Rescale(4)
+	if !almostEq(r.Mean(), 2, 1e-10) {
+		t.Fatalf("rescaled mean = %g, want 2", r.Mean())
+	}
+	if !almostEq(r.SCV(), d.SCV(), 1e-10) {
+		t.Fatalf("rescale changed SCV: %g vs %g", r.SCV(), d.SCV())
+	}
+	w := d.WithMean(7)
+	if !almostEq(w.Mean(), 7, 1e-10) {
+		t.Fatalf("WithMean = %g, want 7", w.Mean())
+	}
+}
+
+func TestValidateRejectsBadReps(t *testing.T) {
+	good := matrix.New(1, 1)
+	good.Set(0, 0, -1)
+	cases := []struct {
+		name  string
+		alpha []float64
+		s     *matrix.Dense
+	}{
+		{"alpha sums above one", []float64{0.7, 0.7}, func() *matrix.Dense {
+			m := matrix.New(2, 2)
+			m.Set(0, 0, -1)
+			m.Set(1, 1, -1)
+			return m
+		}()},
+		{"positive diagonal", []float64{1}, func() *matrix.Dense {
+			m := matrix.New(1, 1)
+			m.Set(0, 0, 1)
+			return m
+		}()},
+		{"negative off-diagonal", []float64{1, 0}, func() *matrix.Dense {
+			m := matrix.New(2, 2)
+			m.Set(0, 0, -1)
+			m.Set(0, 1, -0.5)
+			m.Set(1, 1, -1)
+			return m
+		}()},
+		{"positive row sum", []float64{1, 0}, func() *matrix.Dense {
+			m := matrix.New(2, 2)
+			m.Set(0, 0, -1)
+			m.Set(0, 1, 2)
+			m.Set(1, 1, -1)
+			return m
+		}()},
+		{"shape mismatch", []float64{1, 0}, good},
+	}
+	for _, c := range cases {
+		if _, err := New(c.alpha, c.s); err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestFitMeanSCVExponential(t *testing.T) {
+	d, err := FitMeanSCV(2.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Order() != 1 || !almostEq(d.Mean(), 2.5, 1e-10) {
+		t.Fatalf("fit = %v", d)
+	}
+}
+
+func TestFitMeanSCVHighVariability(t *testing.T) {
+	d, err := FitMeanSCV(1.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Mean(), 1.5, 1e-9) || !almostEq(d.SCV(), 4, 1e-9) {
+		t.Fatalf("fit mean=%g scv=%g, want 1.5, 4", d.Mean(), d.SCV())
+	}
+}
+
+func TestFitMeanSCVLowVariability(t *testing.T) {
+	d, err := FitMeanSCV(3, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Mean(), 3, 1e-9) || !almostEq(d.SCV(), 0.4, 1e-9) {
+		t.Fatalf("fit mean=%g scv=%g, want 3, 0.4", d.Mean(), d.SCV())
+	}
+}
+
+func TestPropertyFitRoundTrip(t *testing.T) {
+	f := func(mSeed, cSeed uint16) bool {
+		mean := 0.05 + float64(mSeed)/65535*20
+		scv := 0.05 + float64(cSeed)/65535*10
+		d, err := FitMeanSCV(mean, scv)
+		if err != nil {
+			return false
+		}
+		return almostEq(d.Mean(), mean, 1e-7*(1+mean)) && almostEq(d.SCV(), scv, 1e-6*(1+scv))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitMoments123(t *testing.T) {
+	// Moments of Exp(0.5): m1=2, m2=8.
+	d, err := FitMoments123(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d.Mean(), 2, 1e-9) || !almostEq(d.SCV(), 1, 1e-9) {
+		t.Fatalf("fit = %v", d)
+	}
+	// Degenerate: m2 == m1² (deterministic) falls back to high-order Erlang.
+	d2, err := FitMoments123(3, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(d2.Mean(), 3, 1e-9) {
+		t.Fatalf("degenerate fit mean = %g, want 3", d2.Mean())
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitMeanSCV(0, 1); err == nil {
+		t.Fatal("expected error for zero mean")
+	}
+	if _, err := FitMeanSCV(1, -1); err == nil {
+		t.Fatal("expected error for negative scv")
+	}
+	if _, err := FitMoments123(-1, 1); err == nil {
+		t.Fatal("expected error for negative m1")
+	}
+}
+
+func TestPropertyConvolutionMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := Erlang(1+rng.Intn(4), 0.2+rng.Float64()*5)
+		b := HyperExponential(
+			[]float64{0.3, 0.7},
+			[]float64{0.2 + rng.Float64()*3, 0.2 + rng.Float64()*3})
+		c := Convolve(a, b)
+		okMean := almostEq(c.Mean(), a.Mean()+b.Mean(), 1e-8*(1+a.Mean()+b.Mean()))
+		okVar := almostEq(c.Variance(), a.Variance()+b.Variance(), 1e-7*(1+c.Variance()))
+		okOrder := c.Order() == a.Order()+b.Order()
+		return okMean && okVar && okOrder
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := Convolve(Erlang(1+rng.Intn(3), 0.5+rng.Float64()*2), Exponential(0.5+rng.Float64()*2))
+		prev := 0.0
+		for x := 0.0; x <= 10; x += 0.5 {
+			c := d.CDF(x)
+			if c < prev-1e-9 || c < 0 || c > 1 {
+				return false
+			}
+			prev = c
+		}
+		return d.CDF(60*d.Mean()) > 0.999
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerMatchesMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []*Dist{
+		Exponential(2),
+		Erlang(4, 1.5),
+		HyperExponential([]float64{0.25, 0.75}, []float64{0.5, 4}),
+		Convolve(Exponential(1), Erlang(2, 3)),
+	}
+	const n = 200000
+	for _, d := range cases {
+		s := NewSampler(d)
+		var sum, sum2 float64
+		for i := 0; i < n; i++ {
+			x := s.Sample(rng)
+			sum += x
+			sum2 += x * x
+		}
+		gotMean := sum / n
+		gotM2 := sum2 / n
+		if !almostEq(gotMean, d.Mean(), 0.02*d.Mean()+0.005) {
+			t.Fatalf("%v: sample mean %g, analytic %g", d, gotMean, d.Mean())
+		}
+		if !almostEq(gotM2, d.Moment(2), 0.06*d.Moment(2)+0.01) {
+			t.Fatalf("%v: sample m2 %g, analytic %g", d, gotM2, d.Moment(2))
+		}
+	}
+}
+
+func TestSamplerAtomAtZero(t *testing.T) {
+	s := matrix.New(1, 1)
+	s.Set(0, 0, -1)
+	d := MustNew([]float64{0.5}, s)
+	smp := NewSampler(d)
+	rng := rand.New(rand.NewSource(7))
+	zeros := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if smp.Sample(rng) == 0 {
+			zeros++
+		}
+	}
+	frac := float64(zeros) / n
+	if !almostEq(frac, 0.5, 0.02) {
+		t.Fatalf("atom mass = %g, want ~0.5", frac)
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	smp := NewSampler(Exponential(1))
+	xs := smp.SampleN(rand.New(rand.NewSource(1)), 10)
+	if len(xs) != 10 {
+		t.Fatalf("len = %d, want 10", len(xs))
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			t.Fatalf("non-positive exponential sample %g", x)
+		}
+	}
+}
+
+func TestExitVector(t *testing.T) {
+	d := Erlang(3, 1)
+	exit := d.ExitVector()
+	// Only the last stage exits, at the stage rate 3.
+	if !almostEq(exit[0], 0, 1e-12) || !almostEq(exit[1], 0, 1e-12) || !almostEq(exit[2], 3, 1e-12) {
+		t.Fatalf("exit = %v, want [0 0 3]", exit)
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if s := Exponential(1).String(); s == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Exponential(0) },
+		func() { Erlang(0, 1) },
+		func() { Erlang(2, -1) },
+		func() { HyperExponential([]float64{1}, []float64{}) },
+		func() { HyperExponential([]float64{2}, []float64{1}) },
+		func() { Coxian([]float64{1, 2}, []float64{}) },
+		func() { Coxian([]float64{1, 2}, []float64{1.5}) },
+		func() { Exponential(1).Rescale(0) },
+		func() { Exponential(1).WithMean(-2) },
+		func() { Exponential(1).Moment(0) },
+		func() { ConvolveAll() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,99 @@
+package phase
+
+import (
+	"math/rand"
+)
+
+// Sampler draws exact variates from a PH distribution by simulating the
+// underlying absorbing chain. The embedded jump probabilities and holding
+// rates are precomputed so sampling is allocation-free per draw.
+type Sampler struct {
+	dist    *Dist
+	hold    []float64   // total rate out of each phase
+	jump    [][]float64 // cumulative jump distribution per phase; last entry = absorb
+	alphaCD []float64   // cumulative initial distribution; tail = atom at zero
+}
+
+// NewSampler prepares a sampler for d.
+func NewSampler(d *Dist) *Sampler {
+	m := d.Order()
+	s := &Sampler{
+		dist:    d,
+		hold:    make([]float64, m),
+		jump:    make([][]float64, m),
+		alphaCD: make([]float64, m),
+	}
+	exit := d.ExitVector()
+	for i := 0; i < m; i++ {
+		s.hold[i] = -d.S.At(i, i)
+		cum := make([]float64, m+1)
+		var c float64
+		for j := 0; j < m; j++ {
+			if j != i {
+				c += d.S.At(i, j)
+			}
+			cum[j] = c
+		}
+		c += exit[i]
+		cum[m] = c // total = hold rate (up to rounding)
+		// Normalize so binary thresholds are exact.
+		if c > 0 {
+			for j := range cum {
+				cum[j] /= c
+			}
+		}
+		s.jump[i] = cum
+	}
+	var c float64
+	for i, a := range d.Alpha {
+		c += a
+		s.alphaCD[i] = c
+	}
+	return s
+}
+
+// Sample draws one variate using rng.
+func (s *Sampler) Sample(rng *rand.Rand) float64 {
+	m := s.dist.Order()
+	// Initial phase (or immediate absorption: atom at zero).
+	u := rng.Float64()
+	ph := -1
+	for i := 0; i < m; i++ {
+		if u < s.alphaCD[i] {
+			ph = i
+			break
+		}
+	}
+	if ph < 0 {
+		return 0
+	}
+	var t float64
+	for {
+		t += rng.ExpFloat64() / s.hold[ph]
+		u = rng.Float64()
+		cum := s.jump[ph]
+		next := -1
+		for j := 0; j < m; j++ {
+			if j == ph {
+				continue
+			}
+			if u < cum[j] {
+				next = j
+				break
+			}
+		}
+		if next < 0 {
+			return t // absorbed
+		}
+		ph = next
+	}
+}
+
+// SampleN draws n variates into a fresh slice.
+func (s *Sampler) SampleN(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+// Package plot renders experiment tables as ASCII line charts so the
+// paper's figures can be eyeballed straight from a terminal, without any
+// external plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart lays out multiple series on a shared canvas.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	LogY   bool
+	Series []Series
+}
+
+// markers cycles per series.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Render draws the chart. Series points are plotted at their nearest cell;
+// later series overwrite earlier ones on collisions (legend shows which
+// marker is which).
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range c.Series {
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	if !any {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		mk := markers[si%len(markers)]
+		for i := range s.X {
+			y := s.Y[i]
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			col := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			row := h - 1 - int((y-ymin)/(ymax-ymin)*float64(h-1))
+			grid[row][col] = mk
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yLo, yHi := ymin, ymax
+	if c.LogY {
+		yLo, yHi = math.Pow(10, ymin), math.Pow(10, ymax)
+	}
+	for r := 0; r < h; r++ {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.3g ", yHi)
+		case h - 1:
+			label = fmt.Sprintf("%9.3g ", yLo)
+		case h / 2:
+			mid := (ymin + ymax) / 2
+			if c.LogY {
+				mid = math.Pow(10, mid)
+			}
+			label = fmt.Sprintf("%9.3g ", mid)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s%-10.3g%s%10.3g\n", strings.Repeat(" ", 11), xmin,
+		strings.Repeat(" ", maxInt(0, w-20)), xmax)
+	if c.XLabel != "" || c.YLabel != "" || c.LogY {
+		fmt.Fprintf(&b, "%sx: %s   y: %s%s\n", strings.Repeat(" ", 11), c.XLabel, c.YLabel, logNote(c.LogY))
+	}
+	var legend []string
+	for si, s := range c.Series {
+		legend = append(legend, fmt.Sprintf("%c %s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%slegend: %s\n", strings.Repeat(" ", 11), strings.Join(legend, "   "))
+	return b.String()
+}
+
+func logNote(on bool) string {
+	if on {
+		return " (log scale)"
+	}
+	return ""
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

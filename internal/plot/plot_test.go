@@ -1,0 +1,100 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoChart() *Chart {
+	return &Chart{
+		Title:  "demo",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+			{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+		},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	out := demoChart().Render()
+	for _, want := range []string{"demo", "legend:", "* up", "o down", "x: x   y: y"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("markers not plotted")
+	}
+}
+
+func TestRenderGeometry(t *testing.T) {
+	c := demoChart()
+	c.Width, c.Height = 40, 10
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	// Title + height rows + axis + x-range + labels + legend.
+	if len(lines) < 10+4 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// Increasing series: top-right corner region should hold a marker from
+	// "up" and the top-left from "down".
+	top := lines[1]
+	if !strings.Contains(top, "*") && !strings.Contains(top, "o") {
+		t.Fatalf("no marker on the top row:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	if out := c.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("expected no-data note:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := &Chart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("flat series not plotted:\n%s", out)
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	c := &Chart{
+		LogY: true,
+		Series: []Series{{
+			Name: "exp", X: []float64{0, 1, 2, 3}, Y: []float64{1, 10, 100, 1000},
+		}},
+	}
+	out := c.Render()
+	if !strings.Contains(out, "log scale") {
+		t.Fatal("log note missing")
+	}
+	// On a log axis the exponential is a straight diagonal: each column
+	// quartile should carry one marker row step. Just verify all four
+	// points plotted (distinct rows).
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		// Only count plot-area rows (they carry the "|" axis), not the
+		// legend line, which also contains the marker.
+		if strings.Contains(line, "|") && strings.Contains(line, "*") {
+			rows++
+		}
+	}
+	if rows != 4 {
+		t.Fatalf("want 4 marker rows on log axis, got %d:\n%s", rows, out)
+	}
+}
+
+func TestRenderSkipsNonPositiveOnLog(t *testing.T) {
+	c := &Chart{
+		LogY:   true,
+		Series: []Series{{Name: "s", X: []float64{0, 1}, Y: []float64{-1, 10}}},
+	}
+	out := c.Render()
+	if strings.Contains(out, "no data") {
+		t.Fatal("positive point should render")
+	}
+}

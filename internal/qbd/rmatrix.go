@@ -1,0 +1,241 @@
+package qbd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrUnstable is returned when a stationary solve is attempted on a process
+// whose drift condition fails (sp(R) ≥ 1).
+var ErrUnstable = errors.New("qbd: process is not positive recurrent")
+
+// RMatrixOptions tune the R-matrix computation.
+type RMatrixOptions struct {
+	Tol     float64 // sup-norm stopping tolerance (default 1e-12)
+	MaxIter int     // iteration budget (default 10000)
+}
+
+func (o RMatrixOptions) withDefaults() RMatrixOptions {
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10000
+	}
+	return o
+}
+
+// RMatrix computes the minimal non-negative solution of
+// R²·A₂ + R·A₁ + A₀ = 0 (paper eq. 23) by logarithmic reduction on the
+// uniformized blocks, falling back to successive substitution if reduction
+// stalls. The same R solves both the CTMC and its uniformized DTMC
+// equation, so we discretize first (§2.4) and work with substochastic
+// blocks throughout.
+func RMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+	opts = opts.withDefaults()
+	n := a1.Rows()
+	if n == 0 {
+		return matrix.New(0, 0), nil
+	}
+	d0, d1, d2 := uniformizeBlocks(a0, a1, a2)
+	r, err := logarithmicReduction(d0, d1, d2, opts)
+	if err == nil {
+		return r, nil
+	}
+	return successiveSubstitution(d0, d1, d2, opts)
+}
+
+// uniformizeBlocks maps CTMC blocks to DTMC blocks Dk with
+// D0 = A0/c, D1 = A1/c + I, D2 = A2/c for c ≥ max exit rate.
+func uniformizeBlocks(a0, a1, a2 *matrix.Dense) (d0, d1, d2 *matrix.Dense) {
+	n := a1.Rows()
+	var c float64
+	for i := 0; i < n; i++ {
+		if r := -a1.At(i, i); r > c {
+			c = r
+		}
+	}
+	c *= 1.0000001
+	d0 = matrix.Scaled(1/c, a0)
+	d1 = matrix.Sum(matrix.Scaled(1/c, a1), matrix.Identity(n))
+	d2 = matrix.Scaled(1/c, a2)
+	return d0, d1, d2
+}
+
+// logarithmicReduction is the Latouche–Ramaswami algorithm: quadratic
+// convergence in the number of levels explored (level 2ᵏ after k steps).
+// It first computes G (first-passage to the level below), then
+// R = D₀·(I − D₁ − D₀·G)⁻¹.
+func logarithmicReduction(d0, d1, d2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+	n := d1.Rows()
+	id := matrix.Identity(n)
+	base, err := matrix.Inverse(matrix.Diff(id, d1))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
+	}
+	h := matrix.Mul(base, d0) // up
+	l := matrix.Mul(base, d2) // down
+	g := l.Clone()
+	t := h.Clone()
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		u := matrix.Sum(matrix.Mul(h, l), matrix.Mul(l, h))
+		inv, err := matrix.Inverse(matrix.Diff(id, u))
+		if err != nil {
+			return nil, fmt.Errorf("qbd: logarithmic reduction stalled: %w", err)
+		}
+		h2 := matrix.Mul(inv, matrix.Mul(h, h))
+		l2 := matrix.Mul(inv, matrix.Mul(l, l))
+		g = matrix.Sum(g, matrix.Mul(t, l2))
+		t = matrix.Mul(t, h2)
+		h, l = h2, l2
+		if t.MaxAbs() < opts.Tol {
+			return rFromG(d0, d1, g)
+		}
+	}
+	return nil, matrix.ErrNoConverge
+}
+
+func rFromG(d0, d1, g *matrix.Dense) (*matrix.Dense, error) {
+	n := d1.Rows()
+	m := matrix.Diff(matrix.Identity(n), matrix.Sum(d1, matrix.Mul(d0, g)))
+	inv, err := matrix.Inverse(m)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: I − D₁ − D₀G singular: %w", err)
+	}
+	return matrix.Mul(d0, inv), nil
+}
+
+// successiveSubstitution iterates R ← (D₀ + R²·D₂)·(I − D₁)⁻¹ from R = 0.
+// Linear convergence; kept as a robust fallback.
+func successiveSubstitution(d0, d1, d2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+	n := d1.Rows()
+	inv, err := matrix.Inverse(matrix.Diff(matrix.Identity(n), d1))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
+	}
+	r := matrix.New(n, n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		next := matrix.Mul(matrix.Sum(d0, matrix.Mul(matrix.Mul(r, r), d2)), inv)
+		diff := matrix.Diff(next, r).MaxAbs()
+		r = next
+		if diff < opts.Tol {
+			return r, nil
+		}
+	}
+	return nil, matrix.ErrNoConverge
+}
+
+// GMatrix computes the minimal non-negative solution of
+// A₂ + A₁·G + A₀·G² = 0: entry (i, j) is the probability that, starting
+// in phase i of level n+1, the process first enters level n in phase j.
+// G is the first-passage dual of R and the key to busy-period analysis.
+func GMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+	opts = opts.withDefaults()
+	n := a1.Rows()
+	if n == 0 {
+		return matrix.New(0, 0), nil
+	}
+	d0, d1, d2 := uniformizeBlocks(a0, a1, a2)
+	id := matrix.Identity(n)
+	base, err := matrix.Inverse(matrix.Diff(id, d1))
+	if err != nil {
+		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
+	}
+	h := matrix.Mul(base, d0)
+	l := matrix.Mul(base, d2)
+	g := l.Clone()
+	t := h.Clone()
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		u := matrix.Sum(matrix.Mul(h, l), matrix.Mul(l, h))
+		inv, err := matrix.Inverse(matrix.Diff(id, u))
+		if err != nil {
+			break // transient chains can degenerate here; fall back below
+		}
+		h2 := matrix.Mul(inv, matrix.Mul(h, h))
+		l2 := matrix.Mul(inv, matrix.Mul(l, l))
+		g = matrix.Sum(g, matrix.Mul(t, l2))
+		t = matrix.Mul(t, h2)
+		h, l = h2, l2
+		if t.MaxAbs() < opts.Tol {
+			if gOK(g) {
+				return g, nil
+			}
+			break
+		}
+	}
+	// Functional iteration G ← D₂ + D₁G + D₀G², monotone from 0 and
+	// robust for transient (substochastic-G) chains where logarithmic
+	// reduction can produce NaNs.
+	g = matrix.New(n, n)
+	for iter := 0; iter < opts.MaxIter*100; iter++ {
+		next := matrix.Sum(matrix.Sum(d2, matrix.Mul(d1, g)), matrix.Mul(d0, matrix.Mul(g, g)))
+		diff := matrix.Diff(next, g).MaxAbs()
+		g = next
+		if diff < opts.Tol {
+			return g, nil
+		}
+	}
+	return nil, matrix.ErrNoConverge
+}
+
+func gOK(g *matrix.Dense) bool {
+	for i := 0; i < g.Rows(); i++ {
+		for j := 0; j < g.Cols(); j++ {
+			v := g.At(i, j)
+			if math.IsNaN(v) || v < -1e-9 || v > 1+1e-9 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MeanFirstPassageDown returns, per starting phase of level n+1, the mean
+// time to first reach level n — the QBD busy period. First-step analysis
+// gives (−A₁ − A₀·(I+G))·m = e: an A₀ excursion must first return to the
+// starting level (mean m per phase, routed by G) and then still complete
+// the passage. For M/M/1 this is the classical E[B] = 1/(μ−λ).
+func MeanFirstPassageDown(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) ([]float64, error) {
+	g, err := GMatrix(a0, a1, a2, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Substochastic G means downward passage is not certain (transient
+	// drift): the mean passage time is infinite.
+	for i, s := range g.RowSums() {
+		if s < 1-1e-6 {
+			return nil, fmt.Errorf("qbd: first passage from phase %d not certain (G row sum %g)", i, s)
+		}
+	}
+	n := a1.Rows()
+	u := matrix.Scaled(-1, matrix.Sum(a1, matrix.Mul(a0, matrix.Sum(matrix.Identity(n), g))))
+	f, err := matrix.Factorize(u)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: passage matrix singular (not positive recurrent?): %w", err)
+	}
+	m := f.SolveVec(matrix.Ones(n))
+	for _, v := range m {
+		if v < 0 || math.IsNaN(v) {
+			return nil, fmt.Errorf("qbd: first passage time diverges (not positive recurrent)")
+		}
+	}
+	return m, nil
+}
+
+// ResidualG returns ‖A₂ + A₁·G + A₀·G²‖_∞.
+func ResidualG(g, a0, a1, a2 *matrix.Dense) float64 {
+	res := matrix.Sum(a2, matrix.Mul(a1, g))
+	res = matrix.Sum(res, matrix.Mul(a0, matrix.Mul(g, g)))
+	return res.InfNorm()
+}
+
+// ResidualR returns ‖A₀ + R·A₁ + R²·A₂‖_∞, a correctness check on R
+// against the defining CTMC equation.
+func ResidualR(r, a0, a1, a2 *matrix.Dense) float64 {
+	res := matrix.Sum(a0, matrix.Mul(r, a1))
+	res = matrix.Sum(res, matrix.Mul(matrix.Mul(r, r), a2))
+	return res.InfNorm()
+}

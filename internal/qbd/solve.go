@@ -1,0 +1,268 @@
+package qbd
+
+import (
+	"fmt"
+
+	"repro/internal/matrix"
+)
+
+// Solution is the stationary distribution of a QBD process in
+// matrix-geometric form (Theorem 4.2): explicit boundary vectors
+// π₀ … π_{b−1}, the first repeating-level vector π_b, and the rate matrix
+// R with π_{b+n} = π_b·Rⁿ.
+type Solution struct {
+	Process  *Process
+	R        *matrix.Dense
+	Boundary [][]float64 // π_0 .. π_{b-1}
+	PiB      []float64   // π_b, first repeating level
+
+	sumR  *matrix.Dense // (I−R)⁻¹, cached
+	sumR2 *matrix.Dense // (I−R)⁻², cached
+}
+
+// Solve computes the stationary distribution. It verifies the drift
+// condition first and returns ErrUnstable when it fails.
+func Solve(p *Process, opts RMatrixOptions) (*Solution, error) {
+	if err := p.Validate(1e-8); err != nil {
+		return nil, err
+	}
+	stable, err := p.Stable()
+	if err != nil {
+		return nil, err
+	}
+	if !stable {
+		return nil, ErrUnstable
+	}
+	r, err := RMatrix(p.A0, p.A1, p.A2, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Gelfand bound: rigorous, and immune to the eigenvalue clustering
+	// that can stall power iteration.
+	if sp := matrix.SpectralRadiusUpperBound(r, 40); sp >= 1 {
+		return nil, ErrUnstable
+	}
+	return solveBoundary(p, r)
+}
+
+// solveBoundary assembles the finite linear system of paper eqs. (21)–(22)
+// and (24)–(27): global balance for levels 0..b with π_{b+1} = π_b·R
+// substituted, plus the normalization constraint replacing one redundant
+// balance equation.
+func solveBoundary(p *Process, r *matrix.Dense) (*Solution, error) {
+	b := p.Boundary()
+	n := p.RepeatDim()
+	dims := make([]int, b+1)
+	offs := make([]int, b+1)
+	total := 0
+	for i := 0; i <= b; i++ {
+		if i < b {
+			dims[i] = p.Local[i].Rows()
+		} else {
+			dims[i] = n
+		}
+		offs[i] = total
+		total += dims[i]
+	}
+
+	sumR, err := matrix.GeometricTailSum(r)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: I − R singular: %w", err)
+	}
+
+	// Unknown x = (π_0, …, π_b) as a row vector; equations as columns of M:
+	// x·M = rhs. Column block j holds the balance equations of level j.
+	m := matrix.New(total, total)
+	for j := 0; j < b; j++ {
+		// Level j receives: from j−1 via Up[j−1], from j via Local[j],
+		// from j+1 via Down[j+1].
+		if j > 0 {
+			embedAt(m, offs[j-1], offs[j], p.Up[j-1])
+		}
+		embedAt(m, offs[j], offs[j], p.Local[j])
+		embedAt(m, offs[j+1], offs[j], p.Down[j+1])
+	}
+	// Level b: from b−1 via Up[b−1]; local A1 plus the folded-in flow from
+	// level b+1: π_{b+1}·A₂ = π_b·R·A₂.
+	embedAt(m, offs[b-1], offs[b], p.Up[b-1])
+	embedAt(m, offs[b], offs[b], matrix.Sum(p.A1, matrix.Mul(r, p.A2)))
+
+	// Replace the first column with the normalization:
+	// Σ_{i<b} π_i·e + π_b·(I−R)⁻¹·e = 1.
+	for i := 0; i < total; i++ {
+		m.Set(i, 0, 1)
+	}
+	tailE := matrix.MulVec(sumR, matrix.Ones(n))
+	for i := 0; i < n; i++ {
+		m.Set(offs[b]+i, 0, tailE[i])
+	}
+
+	rhs := make([]float64, total)
+	rhs[0] = 1
+	// Solve x·M = rhs ⟺ Mᵀ·xᵀ = rhs.
+	x, err := matrix.SolveVec(m.Transpose(), rhs)
+	if err != nil {
+		return nil, fmt.Errorf("qbd: boundary system singular (reducible boundary?): %w", err)
+	}
+	sol := &Solution{Process: p, R: r, PiB: x[offs[b] : offs[b]+n], sumR: sumR}
+	for i := 0; i < b; i++ {
+		sol.Boundary = append(sol.Boundary, x[offs[i]:offs[i]+dims[i]])
+	}
+	// Clamp tiny negatives from roundoff.
+	for _, v := range sol.Boundary {
+		clampNonNeg(v)
+	}
+	clampNonNeg(sol.PiB)
+	return sol, nil
+}
+
+func clampNonNeg(v []float64) {
+	for i, x := range v {
+		if x < 0 && x > -1e-9 {
+			v[i] = 0
+		}
+	}
+}
+
+func embedAt(m *matrix.Dense, r0, c0 int, src *matrix.Dense) {
+	for i := 0; i < src.Rows(); i++ {
+		for j := 0; j < src.Cols(); j++ {
+			if v := src.At(i, j); v != 0 {
+				m.Add(r0+i, c0+j, v)
+			}
+		}
+	}
+}
+
+func (s *Solution) tail2() (*matrix.Dense, error) {
+	if s.sumR2 == nil {
+		s.sumR2 = matrix.Mul(s.sumR, s.sumR)
+	}
+	return s.sumR2, nil
+}
+
+// Level returns π_i for any level i ≥ 0.
+func (s *Solution) Level(i int) []float64 {
+	b := s.Process.Boundary()
+	if i < b {
+		return append([]float64(nil), s.Boundary[i]...)
+	}
+	v := append([]float64(nil), s.PiB...)
+	for k := b; k < i; k++ {
+		v = matrix.VecMul(v, s.R)
+	}
+	return v
+}
+
+// LevelMass returns P[level = i].
+func (s *Solution) LevelMass(i int) float64 { return matrix.VecSum(s.Level(i)) }
+
+// MeanLevel returns E[level] — for the gang model, the mean number of
+// class-p jobs in the system (paper eq. 37):
+//
+//	N = Σ_{i<b} i·π_i·e + b·π_b·(I−R)⁻¹·e + π_b·(I−R)⁻²·R·e
+func (s *Solution) MeanLevel() (float64, error) {
+	b := s.Process.Boundary()
+	var nbar float64
+	for i := 1; i < b; i++ {
+		nbar += float64(i) * matrix.VecSum(s.Boundary[i])
+	}
+	nbar += float64(b) * matrix.Dot(s.PiB, matrix.MulVec(s.sumR, matrix.Ones(s.Process.RepeatDim())))
+	t2, err := s.tail2()
+	if err != nil {
+		return 0, err
+	}
+	re := s.R.RowSums()
+	nbar += matrix.Dot(s.PiB, matrix.MulVec(t2, re))
+	return nbar, nil
+}
+
+// WeightedMean returns E[w(state)] for a per-state weight that is
+// explicit on the boundary and affine in the level on the repeating
+// portion: w(level b+n, phase s) = repeatBase[s] + n·slope. Used when the
+// QBD's levels are super-levels (e.g. batch-arrival reblocking) and the
+// physical quantity is an affine function of the level index:
+//
+//	Σ_{i<b} π_i·boundary_i + π_b(I−R)⁻¹·repeatBase + slope·π_b·R(I−R)⁻²·e
+func (s *Solution) WeightedMean(boundary [][]float64, repeatBase []float64, slope float64) float64 {
+	b := s.Process.Boundary()
+	if len(boundary) != b {
+		panic(fmt.Sprintf("qbd: %d boundary weight vectors for %d boundary levels", len(boundary), b))
+	}
+	var mean float64
+	for i := 0; i < b; i++ {
+		if len(boundary[i]) != len(s.Boundary[i]) {
+			panic(fmt.Sprintf("qbd: boundary weight %d has %d entries, want %d", i, len(boundary[i]), len(s.Boundary[i])))
+		}
+		mean += matrix.Dot(s.Boundary[i], boundary[i])
+	}
+	mean += matrix.Dot(s.PiB, matrix.MulVec(s.sumR, repeatBase))
+	if slope != 0 {
+		t2, _ := s.tail2()
+		re := s.R.RowSums()
+		mean += slope * matrix.Dot(s.PiB, matrix.MulVec(t2, re))
+	}
+	return mean
+}
+
+// TailProb returns P[level ≥ k].
+func (s *Solution) TailProb(k int) float64 {
+	b := s.Process.Boundary()
+	var below float64
+	for i := 0; i < b && i < k; i++ {
+		below += matrix.VecSum(s.Boundary[i])
+	}
+	if k <= b {
+		// Everything from level k to b−1 counted above; add full tail.
+		tail := matrix.Dot(s.PiB, matrix.MulVec(s.sumR, matrix.Ones(s.Process.RepeatDim())))
+		return clampProb(tail + boundaryMassBetween(s, k, b))
+	}
+	// k > b: tail = π_b·R^{k−b}·(I−R)⁻¹·e.
+	v := append([]float64(nil), s.PiB...)
+	for i := b; i < k; i++ {
+		v = matrix.VecMul(v, s.R)
+	}
+	return clampProb(matrix.Dot(v, matrix.MulVec(s.sumR, matrix.Ones(s.Process.RepeatDim()))))
+}
+
+func boundaryMassBetween(s *Solution, lo, hi int) float64 {
+	var m float64
+	for i := lo; i < hi; i++ {
+		m += matrix.VecSum(s.Boundary[i])
+	}
+	return m
+}
+
+func clampProb(p float64) float64 {
+	switch {
+	case p < 0:
+		return 0
+	case p > 1:
+		return 1
+	}
+	return p
+}
+
+// TotalMass returns the total probability mass (should be 1); exposed as a
+// numerical self-check.
+func (s *Solution) TotalMass() float64 {
+	b := s.Process.Boundary()
+	var t float64
+	for i := 0; i < b; i++ {
+		t += matrix.VecSum(s.Boundary[i])
+	}
+	t += matrix.Dot(s.PiB, matrix.MulVec(s.sumR, matrix.Ones(s.Process.RepeatDim())))
+	return t
+}
+
+// PhaseMarginalRepeating returns Σ_{i≥b} π_i = π_b·(I−R)⁻¹, the stationary
+// phase distribution aggregated over the repeating levels.
+func (s *Solution) PhaseMarginalRepeating() []float64 {
+	return matrix.VecMul(s.PiB, s.sumR)
+}
+
+// SpectralRadiusR returns (a tight upper bound on) sp(R), the geometric
+// decay rate of the queue-length tail.
+func (s *Solution) SpectralRadiusR() float64 {
+	return matrix.SpectralRadiusUpperBound(s.R, 40)
+}

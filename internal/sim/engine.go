@@ -1,0 +1,89 @@
+// Package sim is a discrete-event simulator of the multiprogrammed
+// parallel machine of the paper, used both to validate the analytic model
+// and as the stand-in for the authors' SP2/cluster scheduler prototype
+// (DESIGN.md §5). It implements the exact gang-scheduling policy of §3.1
+// (system-wide rotation, flexible partitions, early switch on empty
+// queues, preempt-resume service), the paper's future-work local-switching
+// variant (§6), and the time-sharing and space-sharing baselines the
+// introduction compares against.
+package sim
+
+import (
+	"container/heap"
+)
+
+// eventKind discriminates simulator events.
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evQuantumEnd
+	evOverheadEnd
+)
+
+// event is a scheduled simulator event. Epoch-stamped events (completions,
+// quantum expiries) are lazily cancelled: a mismatch with the current epoch
+// means the slice that scheduled them has ended.
+type event struct {
+	at    float64
+	seq   uint64 // tie-break for deterministic ordering
+	kind  eventKind
+	class int
+	job   *job
+	epoch uint64
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// calendar wraps the heap with a sequence counter so equal-time events pop
+// in schedule order, keeping runs deterministic for a fixed seed.
+type calendar struct {
+	h   eventHeap
+	seq uint64
+}
+
+func (c *calendar) schedule(e *event) {
+	e.seq = c.seq
+	c.seq++
+	heap.Push(&c.h, e)
+}
+
+func (c *calendar) next() *event {
+	if len(c.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&c.h).(*event)
+}
+
+func (c *calendar) empty() bool { return len(c.h) == 0 }
+
+// job is one unit of work flowing through a simulated system.
+type job struct {
+	class     int
+	arrival   float64
+	service   float64 // total demand, fixed at arrival
+	remaining float64
+	startedAt float64 // when it last began running
+	running   bool
+}

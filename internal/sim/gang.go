@@ -1,0 +1,477 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/phase"
+)
+
+// Config drives a simulation run.
+type Config struct {
+	// Model is the system description (same object the analytic solver
+	// consumes).
+	Model *core.Model
+	// Seed initializes the random stream; runs are deterministic per seed.
+	Seed int64
+	// Warmup is the simulated time discarded before measurement.
+	Warmup float64
+	// Horizon is the total simulated time, warmup included.
+	Horizon float64
+	// Batches sets the batch count for confidence intervals (default 10).
+	Batches int
+	// LocalSwitch enables the paper's future-work variant (§6): partitions
+	// left idle during a class's slice are immediately lent to jobs of
+	// subsequent classes instead of idling until the system-wide switch.
+	LocalSwitch bool
+	// Workload, when non-nil, replays a pregenerated job trace instead of
+	// sampling arrivals live — use GenerateWorkload for common-random-
+	// numbers policy comparisons.
+	Workload *Workload
+	// CheckInvariants validates internal scheduler invariants (processor
+	// accounting, gang exclusivity) after every event. For tests.
+	CheckInvariants bool
+}
+
+func (c Config) validate() error {
+	if c.Model == nil {
+		return fmt.Errorf("sim: nil model")
+	}
+	if err := c.Model.Validate(); err != nil {
+		return err
+	}
+	if c.Horizon <= c.Warmup {
+		return fmt.Errorf("sim: horizon %g must exceed warmup %g", c.Horizon, c.Warmup)
+	}
+	return nil
+}
+
+type schedPhase uint8
+
+const (
+	phaseQuantum schedPhase = iota
+	phaseOverhead
+)
+
+// gangSim simulates the §3.1 gang scheduling policy.
+type gangSim struct {
+	cfg Config
+	m   *core.Model
+	rng *rand.Rand
+	cal calendar
+	now float64
+
+	src    arrivalSource
+	qS, oS []*phase.Sampler
+
+	queues   [][]*job // waiting jobs, FIFO; running jobs are not queued
+	nextArr  []float64
+	active   int
+	phase    schedPhase
+	epoch    uint64
+	running  []*job   // active-class jobs on partitions, in start order
+	borrowed [][]*job // LocalSwitch: lent jobs per class, in start order
+	inSystem []int
+	idleProc int // processors not allocated to any running job
+
+	met    *metrics
+	cycles int
+
+	busyProcTime []float64 // measured processor-seconds per class
+	switchTime   float64   // measured wall-seconds in overheads
+}
+
+// RunGang simulates the gang-scheduled machine and returns steady-state
+// estimates.
+func RunGang(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	l := m.NumClasses()
+	g := &gangSim{
+		cfg:      cfg,
+		m:        m,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		queues:   make([][]*job, l),
+		nextArr:  make([]float64, l),
+		borrowed: make([][]*job, l),
+		inSystem: make([]int, l),
+		idleProc: m.Processors,
+		met:      newMetrics(l, cfg.Warmup, cfg.Horizon, cfg.Batches),
+
+		busyProcTime: make([]float64, l),
+	}
+	g.src = cfg.source(m, g.rng)
+	for p := 0; p < l; p++ {
+		c := m.Classes[p]
+		g.qS = append(g.qS, phase.NewSampler(c.Quantum))
+		g.oS = append(g.oS, phase.NewSampler(c.Overhead))
+		g.met.observePop(0, p, 0)
+		g.scheduleNextArrival(p)
+	}
+	g.startSlice()
+	for !g.cal.empty() {
+		e := g.cal.next()
+		if e.at > cfg.Horizon {
+			g.accountTime(cfg.Horizon)
+			break
+		}
+		g.accountTime(e.at)
+		g.now = e.at
+		g.dispatch(e)
+		if cfg.CheckInvariants {
+			if err := g.checkInvariants(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res := g.met.result()
+	res.Cycles = g.cycles
+	procTime := float64(m.Processors) * (cfg.Horizon - cfg.Warmup)
+	var busyTotal float64
+	for p := range res.Classes {
+		res.Classes[p].MachineShare = g.busyProcTime[p] / procTime
+		busyTotal += g.busyProcTime[p]
+	}
+	res.SwitchingFraction = g.switchTime / (cfg.Horizon - cfg.Warmup)
+	res.IdleFraction = 1 - busyTotal/procTime - res.SwitchingFraction
+	return res, nil
+}
+
+// accountTime accrues machine-time usage over [g.now, to] under the
+// current (constant) scheduler state, clipped to the measurement window.
+func (g *gangSim) accountTime(to float64) {
+	lo := g.now
+	if lo < g.cfg.Warmup {
+		lo = g.cfg.Warmup
+	}
+	if to > g.cfg.Horizon {
+		to = g.cfg.Horizon
+	}
+	dt := to - lo
+	if dt <= 0 {
+		return
+	}
+	if g.phase == phaseOverhead {
+		g.switchTime += dt
+		return
+	}
+	if len(g.running) > 0 {
+		g.busyProcTime[g.active] += dt * float64(len(g.running)*g.m.Classes[g.active].Partition)
+	}
+	for q, list := range g.borrowed {
+		if len(list) > 0 {
+			g.busyProcTime[q] += dt * float64(len(list)*g.m.Classes[q].Partition)
+		}
+	}
+}
+
+// checkInvariants validates the scheduler's internal accounting after an
+// event (enabled via Config.CheckInvariants, used by the test suite):
+//
+//   - processor conservation: running + borrowed partitions + idle = P;
+//   - gang exclusivity: without local switching, only the active class
+//     occupies partitions;
+//   - population accounting: inSystem = queued + on-partition per class;
+//   - jobs on partitions are marked running and vice versa.
+func (g *gangSim) checkInvariants() error {
+	used := 0
+	for _, j := range g.running {
+		if !j.running {
+			return fmt.Errorf("sim: invariant: paused job on active partition at t=%g", g.now)
+		}
+		if j.class != g.active {
+			return fmt.Errorf("sim: invariant: class-%d job on active list during class %d's slice", j.class, g.active)
+		}
+		used += g.m.Classes[j.class].Partition
+	}
+	for q, list := range g.borrowed {
+		if len(list) > 0 && !g.cfg.LocalSwitch {
+			return fmt.Errorf("sim: invariant: borrowed jobs without LocalSwitch at t=%g", g.now)
+		}
+		for _, j := range list {
+			if j.class != q || !j.running {
+				return fmt.Errorf("sim: invariant: bad borrowed job state at t=%g", g.now)
+			}
+			used += g.m.Classes[q].Partition
+		}
+	}
+	if used+g.idleProc != g.m.Processors {
+		return fmt.Errorf("sim: invariant: %d used + %d idle != %d processors at t=%g",
+			used, g.idleProc, g.m.Processors, g.now)
+	}
+	if g.phase == phaseOverhead && (len(g.running) > 0 || used > 0) {
+		return fmt.Errorf("sim: invariant: jobs running during a context switch at t=%g", g.now)
+	}
+	for p := range g.queues {
+		onPart := 0
+		if p == g.active {
+			onPart = len(g.running)
+		}
+		onPart += len(g.borrowed[p])
+		if len(g.queues[p])+onPart != g.inSystem[p] {
+			return fmt.Errorf("sim: invariant: class %d population mismatch (%d queued + %d running != %d) at t=%g",
+				p, len(g.queues[p]), onPart, g.inSystem[p], g.now)
+		}
+		for _, j := range g.queues[p] {
+			if j.running {
+				return fmt.Errorf("sim: invariant: running job sitting in queue %d at t=%g", p, g.now)
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gangSim) dispatch(e *event) {
+	switch e.kind {
+	case evArrival:
+		g.onArrival(e)
+	case evCompletion:
+		if e.epoch == g.epoch && e.job.running {
+			g.onCompletion(e.job)
+		}
+	case evQuantumEnd:
+		if e.epoch == g.epoch && g.phase == phaseQuantum {
+			g.onQuantumEnd()
+		}
+	case evOverheadEnd:
+		if e.epoch == g.epoch && g.phase == phaseOverhead {
+			g.onOverheadEnd()
+		}
+	}
+}
+
+// scheduleNextArrival pulls class p's next job from the arrival source
+// and places it on the calendar.
+func (g *gangSim) scheduleNextArrival(p int) {
+	at, svc, ok := g.src.next(p)
+	if !ok {
+		g.nextArr[p] = math.Inf(1)
+		return
+	}
+	g.nextArr[p] = at
+	g.cal.schedule(&event{at: at, kind: evArrival, class: p,
+		job: &job{class: p, arrival: at, service: svc, remaining: svc}})
+}
+
+func (g *gangSim) onArrival(e *event) {
+	p := e.class
+	j := e.job
+	g.inSystem[p]++
+	g.met.observeArrival(g.now, p)
+	g.met.observePop(g.now, p, g.inSystem[p])
+	g.queues[p] = append(g.queues[p], j)
+	g.scheduleNextArrival(p)
+
+	if g.phase != phaseQuantum {
+		return
+	}
+	if p == g.active {
+		g.fillActivePartitions()
+	} else if g.cfg.LocalSwitch {
+		g.fillIdleProcessors()
+	}
+}
+
+// fillActivePartitions starts waiting active-class jobs on free partitions.
+func (g *gangSim) fillActivePartitions() {
+	gp := g.m.Classes[g.active].Partition
+	limit := g.m.Servers(g.active)
+	for len(g.running) < limit && len(g.queues[g.active]) > 0 && g.idleProc >= gp {
+		g.startJob(g.active, gp, &g.running)
+	}
+	if g.cfg.LocalSwitch {
+		g.fillIdleProcessors()
+	}
+}
+
+// fillIdleProcessors lends idle processors to later classes in cycle order
+// (the §6 local-switching variant).
+func (g *gangSim) fillIdleProcessors() {
+	l := g.m.NumClasses()
+	for off := 1; off < l; off++ {
+		q := (g.active + off) % l
+		gq := g.m.Classes[q].Partition
+		for g.idleProc >= gq && len(g.queues[q]) > 0 {
+			g.startJob(q, gq, &g.borrowed[q])
+		}
+	}
+}
+
+// startJob moves the head of queue p onto a partition of size procs.
+func (g *gangSim) startJob(p, procs int, list *[]*job) {
+	j := g.queues[p][0]
+	g.queues[p] = g.queues[p][1:]
+	j.running = true
+	j.startedAt = g.now
+	g.idleProc -= procs
+	*list = append(*list, j)
+	g.cal.schedule(&event{at: g.now + j.remaining, kind: evCompletion, job: j, epoch: g.epoch})
+}
+
+func (g *gangSim) onCompletion(j *job) {
+	p := j.class
+	j.running = false
+	g.removeFromList(j)
+	g.idleProc += g.m.Classes[p].Partition
+	g.inSystem[p]--
+	g.met.observePop(g.now, p, g.inSystem[p])
+	g.met.observeResponse(g.now, p, g.now-j.arrival, j.service)
+
+	if len(g.queues[g.active]) == 0 && len(g.running) == 0 {
+		// The active class has nothing left: early switch (§3.1).
+		g.pauseBorrowed()
+		g.beginOverhead()
+		return
+	}
+	// Active jobs take freed processors first; lending handles the rest.
+	g.fillActivePartitions()
+}
+
+func (g *gangSim) removeFromList(j *job) {
+	lists := append([][]*job{g.running}, g.borrowed...)
+	for li, list := range lists {
+		for i, x := range list {
+			if x == j {
+				copy(list[i:], list[i+1:])
+				list = list[:len(list)-1]
+				if li == 0 {
+					g.running = list
+				} else {
+					g.borrowed[li-1] = list
+				}
+				return
+			}
+		}
+	}
+	panic("sim: completed job not found on any partition")
+}
+
+func (g *gangSim) onQuantumEnd() {
+	g.pauseList(&g.running, g.active)
+	g.pauseBorrowed()
+	g.beginOverhead()
+}
+
+// pauseList preempts every job in list, crediting elapsed service and
+// returning them to the head of their queue in start order (preserving
+// FCFS for the next slice).
+func (g *gangSim) pauseList(list *[]*job, class int) {
+	jobs := *list
+	if len(jobs) == 0 {
+		return
+	}
+	for _, j := range jobs {
+		j.remaining -= g.now - j.startedAt
+		if j.remaining < 0 {
+			j.remaining = 0
+		}
+		j.running = false
+		g.idleProc += g.m.Classes[class].Partition
+	}
+	g.queues[class] = append(append([]*job{}, jobs...), g.queues[class]...)
+	*list = (*list)[:0]
+}
+
+func (g *gangSim) pauseBorrowed() {
+	for q := range g.borrowed {
+		g.pauseList(&g.borrowed[q], q)
+	}
+}
+
+func (g *gangSim) beginOverhead() {
+	g.phase = phaseOverhead
+	g.epoch++
+	d := g.oS[g.active].Sample(g.rng)
+	g.cal.schedule(&event{at: g.now + d, kind: evOverheadEnd, epoch: g.epoch})
+}
+
+func (g *gangSim) onOverheadEnd() {
+	g.active = (g.active + 1) % g.m.NumClasses()
+	if g.active == 0 {
+		g.cycles++
+	}
+	g.startSlice()
+}
+
+func (g *gangSim) startSlice() {
+	g.epoch++
+	if len(g.queues[g.active]) == 0 {
+		if g.systemEmpty() {
+			// Nothing anywhere: fast-forward the idle rotation spin to
+			// the next arrival instead of simulating every overhead.
+			g.idleSpin()
+			return
+		}
+		// Empty class: skip the quantum, go straight to the next switch.
+		g.beginOverhead()
+		return
+	}
+	g.phase = phaseQuantum
+	d := g.qS[g.active].Sample(g.rng)
+	g.cal.schedule(&event{at: g.now + d, kind: evQuantumEnd, epoch: g.epoch})
+	g.fillActivePartitions()
+}
+
+func (g *gangSim) systemEmpty() bool {
+	for _, n := range g.inSystem {
+		if n > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// idleSpin advances the empty machine's overhead-only rotation until it
+// straddles the next arrival. Each spin is one RNG draw; if the overheads
+// are so short that even draws are too many, the rotation phase is sampled
+// from its stationary distribution (exact for exponential overheads by
+// memorylessness, a documented approximation otherwise).
+func (g *gangSim) idleSpin() {
+	nextArrival := math.Inf(1)
+	for _, t := range g.nextArr {
+		if t < nextArrival {
+			nextArrival = t
+		}
+	}
+	if math.IsInf(nextArrival, 1) || nextArrival > g.cfg.Horizon {
+		// No more work ever; leave the calendar to drain past the horizon.
+		g.phase = phaseOverhead
+		return
+	}
+	l := g.m.NumClasses()
+	t := g.now
+	for spins := 0; spins < 4096; spins++ {
+		d := g.oS[g.active].Sample(g.rng)
+		if t+d >= nextArrival {
+			g.phase = phaseOverhead
+			g.cal.schedule(&event{at: t + d, kind: evOverheadEnd, epoch: g.epoch})
+			return
+		}
+		t += d
+		g.active = (g.active + 1) % l
+		if g.active == 0 {
+			g.cycles++
+		}
+	}
+	// Stationary jump: pick the in-progress class ∝ mean overhead and pay
+	// one residual overhead beyond the arrival instant.
+	var total float64
+	for p := 0; p < l; p++ {
+		total += g.m.Classes[p].Overhead.Mean()
+	}
+	g.cycles += int((nextArrival - t) / total)
+	u := g.rng.Float64() * total
+	for p := 0; p < l; p++ {
+		u -= g.m.Classes[p].Overhead.Mean()
+		if u <= 0 {
+			g.active = p
+			break
+		}
+	}
+	g.phase = phaseOverhead
+	g.cal.schedule(&event{at: nextArrival + g.oS[g.active].Sample(g.rng), kind: evOverheadEnd, epoch: g.epoch})
+}

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"math"
+
+	"repro/internal/stats"
+)
+
+// ClassMetrics reports a class's steady-state estimates with batch-means
+// 95% confidence half-widths.
+type ClassMetrics struct {
+	// MeanJobs is the time-average number of class jobs in the system
+	// (the paper's N_p).
+	MeanJobs float64
+	// MeanJobsCI is the 95% half-width on MeanJobs.
+	MeanJobsCI float64
+	// MeanResponse is the average response time of completed jobs (T_p).
+	MeanResponse float64
+	// MeanResponseCI is the 95% half-width on MeanResponse.
+	MeanResponseCI float64
+	// ResponseP50, ResponseP95 and ResponseP99 are streaming (P²)
+	// estimates of the response-time percentiles — the interactive-
+	// responsiveness measures gang scheduling is designed for.
+	ResponseP50, ResponseP95, ResponseP99 float64
+	// MeanSlowdown is E[response/service] over completed jobs — the
+	// standard parallel-workload fairness measure (1 = no queueing or
+	// preemption delay at all).
+	MeanSlowdown float64
+	// MachineShare is the fraction of total processor-time consumed by
+	// this class's jobs; by the utilization law it converges to ρ_p for a
+	// stable class under any work-conserving schedule.
+	MachineShare float64
+	// Completed counts jobs finished after warmup.
+	Completed int
+	// Arrived counts jobs arriving after warmup.
+	Arrived int
+}
+
+// Result is the output of one simulation run.
+type Result struct {
+	Classes []ClassMetrics
+	// Duration is the measured (post-warmup) simulated time.
+	Duration float64
+	// TotalMeanJobs is Σ_p MeanJobs.
+	TotalMeanJobs float64
+	// Cycles counts completed timeplexing cycles (gang policies only).
+	Cycles int
+	// SwitchingFraction is the fraction of wall time spent in
+	// context-switch overheads (whole machine unusable); gang policies
+	// only.
+	SwitchingFraction float64
+	// IdleFraction is the fraction of processor-time that was neither
+	// serving jobs nor burned by switching.
+	IdleFraction float64
+}
+
+// metrics collects per-class populations and response times over a
+// measurement window [warmup, horizon], split into batches for CIs.
+type metrics struct {
+	warmup, horizon float64
+	batches         int
+
+	pop      []*windowedTimeAvg
+	resp     []*batchedSummary
+	p50      []*stats.Quantile
+	p95      []*stats.Quantile
+	p99      []*stats.Quantile
+	slowdown []stats.Summary
+	arrived  []int
+}
+
+func newMetrics(classes int, warmup, horizon float64, batches int) *metrics {
+	if batches < 2 {
+		batches = 10
+	}
+	m := &metrics{warmup: warmup, horizon: horizon, batches: batches}
+	for i := 0; i < classes; i++ {
+		m.pop = append(m.pop, newWindowedTimeAvg(warmup, horizon, batches))
+		m.resp = append(m.resp, newBatchedSummary(warmup, horizon, batches))
+		m.p50 = append(m.p50, stats.NewQuantile(0.5))
+		m.p95 = append(m.p95, stats.NewQuantile(0.95))
+		m.p99 = append(m.p99, stats.NewQuantile(0.99))
+	}
+	m.slowdown = make([]stats.Summary, classes)
+	m.arrived = make([]int, classes)
+	return m
+}
+
+func (m *metrics) observePop(t float64, class, n int) {
+	m.pop[class].observe(t, float64(n))
+}
+
+func (m *metrics) observeArrival(t float64, class int) {
+	if t >= m.warmup {
+		m.arrived[class]++
+	}
+}
+
+func (m *metrics) observeResponse(completedAt float64, class int, resp, service float64) {
+	m.resp[class].add(completedAt, resp)
+	if completedAt >= m.warmup {
+		m.p50[class].Add(resp)
+		m.p95[class].Add(resp)
+		m.p99[class].Add(resp)
+		if service > 0 {
+			m.slowdown[class].Add(resp / service)
+		}
+	}
+}
+
+func (m *metrics) result() *Result {
+	res := &Result{Duration: m.horizon - m.warmup}
+	for c := range m.pop {
+		mj, mjCI := m.pop[c].meanCI()
+		mr, mrCI, n := m.resp[c].meanCI()
+		res.Classes = append(res.Classes, ClassMetrics{
+			MeanJobs:       mj,
+			MeanJobsCI:     mjCI,
+			MeanResponse:   mr,
+			MeanResponseCI: mrCI,
+			ResponseP50:    m.p50[c].Value(),
+			ResponseP95:    m.p95[c].Value(),
+			ResponseP99:    m.p99[c].Value(),
+			MeanSlowdown:   m.slowdown[c].Mean(),
+			Completed:      n,
+			Arrived:        m.arrived[c],
+		})
+		res.TotalMeanJobs += mj
+	}
+	return res
+}
+
+// windowedTimeAvg integrates a piecewise-constant signal over equal-width
+// windows spanning [start, end].
+type windowedTimeAvg struct {
+	start, end, width float64
+	area              []float64
+	lastT, lastV      float64
+}
+
+func newWindowedTimeAvg(start, end float64, batches int) *windowedTimeAvg {
+	return &windowedTimeAvg{
+		start: start, end: end,
+		width: (end - start) / float64(batches),
+		area:  make([]float64, batches),
+		lastT: 0,
+	}
+}
+
+func (w *windowedTimeAvg) observe(t, v float64) {
+	w.integrate(t)
+	w.lastT, w.lastV = t, v
+}
+
+// integrate accrues lastV over [lastT, t] clipped to [start, end], split
+// across window boundaries.
+func (w *windowedTimeAvg) integrate(t float64) {
+	lo := math.Max(w.lastT, w.start)
+	hi := math.Min(t, w.end)
+	for lo < hi {
+		idx := int((lo - w.start) / w.width)
+		if idx >= len(w.area) {
+			break
+		}
+		bEnd := w.start + float64(idx+1)*w.width
+		seg := math.Min(hi, bEnd)
+		w.area[idx] += (seg - lo) * w.lastV
+		lo = seg
+	}
+}
+
+func (w *windowedTimeAvg) meanCI() (mean, ci float64) {
+	w.integrate(w.end)
+	w.lastT = w.end
+	var bm stats.BatchMeans
+	var total float64
+	for _, a := range w.area {
+		bm.AddBatch(a / w.width)
+		total += a
+	}
+	return total / (w.end - w.start), bm.HalfWidth()
+}
+
+// batchedSummary groups scalar observations into time-based batches.
+type batchedSummary struct {
+	start, width float64
+	sums         []stats.Summary
+}
+
+func newBatchedSummary(start, end float64, batches int) *batchedSummary {
+	return &batchedSummary{
+		start: start,
+		width: (end - start) / float64(batches),
+		sums:  make([]stats.Summary, batches),
+	}
+}
+
+func (b *batchedSummary) add(t float64, x float64) {
+	if t < b.start {
+		return
+	}
+	idx := int((t - b.start) / b.width)
+	if idx >= len(b.sums) {
+		idx = len(b.sums) - 1
+	}
+	b.sums[idx].Add(x)
+}
+
+func (b *batchedSummary) meanCI() (mean, ci float64, n int) {
+	var bm stats.BatchMeans
+	var sum float64
+	for i := range b.sums {
+		if b.sums[i].Count() == 0 {
+			continue
+		}
+		bm.AddBatch(b.sums[i].Mean())
+		sum += b.sums[i].Mean() * float64(b.sums[i].Count())
+		n += b.sums[i].Count()
+	}
+	if n == 0 {
+		return 0, math.Inf(1), 0
+	}
+	return sum / float64(n), bm.HalfWidth(), n
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SpaceConfig drives the pure space-sharing baseline: the machine is
+// statically divided, each class permanently owning Partitions[p]
+// partitions of g(p) processors. There is no timeplexing and no
+// context-switch overhead; each class is an independent multi-server FCFS
+// queue on its share of the machine. This is the "space-sharing" scheme of
+// the paper's introduction.
+type SpaceConfig struct {
+	Config
+	// Partitions[p] is the number of g(p)-processor partitions statically
+	// assigned to class p. Must satisfy Σ Partitions[p]·g(p) ≤ P.
+	Partitions []int
+}
+
+// EqualShareAllocation splits the machine into equal processor shares and
+// returns the per-class partition counts (at least one partition each when
+// it fits). Classes are considered in order; leftover processors go to the
+// earliest class that can use them.
+func EqualShareAllocation(processors int, partitionSizes []int) []int {
+	l := len(partitionSizes)
+	alloc := make([]int, l)
+	left := processors
+	share := processors / l
+	for p, g := range partitionSizes {
+		k := share / g
+		if k < 1 && left >= g {
+			k = 1
+		}
+		if k*g > left {
+			k = left / g
+		}
+		alloc[p] = k
+		left -= k * g
+	}
+	for p, g := range partitionSizes { // distribute leftovers
+		for left >= g {
+			alloc[p]++
+			left -= g
+		}
+	}
+	return alloc
+}
+
+// RunSpaceSharing simulates the static space-partitioned machine.
+func RunSpaceSharing(cfg SpaceConfig) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	l := m.NumClasses()
+	if len(cfg.Partitions) != l {
+		return nil, fmt.Errorf("sim: %d partition counts for %d classes", len(cfg.Partitions), l)
+	}
+	var used int
+	for p, k := range cfg.Partitions {
+		if k < 0 {
+			return nil, fmt.Errorf("sim: negative partition count for class %d", p)
+		}
+		used += k * m.Classes[p].Partition
+	}
+	if used > m.Processors {
+		return nil, fmt.Errorf("sim: allocation uses %d processors, machine has %d", used, m.Processors)
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	met := newMetrics(l, cfg.Warmup, cfg.Horizon, cfg.Batches)
+	var cal calendar
+	src := cfg.source(m, rng)
+	queues := make([][]*job, l)
+	busy := make([]int, l)
+	inSystem := make([]int, l)
+	scheduleNext := func(p int) {
+		if at, svc, ok := src.next(p); ok {
+			cal.schedule(&event{at: at, kind: evArrival, class: p,
+				job: &job{class: p, arrival: at, service: svc, remaining: svc}})
+		}
+	}
+	for p := 0; p < l; p++ {
+		met.observePop(0, p, 0)
+		scheduleNext(p)
+	}
+	now := 0.0
+	start := func(p int) {
+		j := queues[p][0]
+		queues[p] = queues[p][1:]
+		busy[p]++
+		cal.schedule(&event{at: now + j.remaining, kind: evCompletion, job: j})
+	}
+	for !cal.empty() {
+		e := cal.next()
+		if e.at > cfg.Horizon {
+			break
+		}
+		now = e.at
+		switch e.kind {
+		case evArrival:
+			p := e.class
+			inSystem[p]++
+			met.observeArrival(now, p)
+			met.observePop(now, p, inSystem[p])
+			queues[p] = append(queues[p], e.job)
+			if busy[p] < cfg.Partitions[p] {
+				start(p)
+			}
+			scheduleNext(p)
+		case evCompletion:
+			p := e.job.class
+			busy[p]--
+			inSystem[p]--
+			met.observePop(now, p, inSystem[p])
+			met.observeResponse(now, p, now-e.job.arrival, e.job.service)
+			if len(queues[p]) > 0 && busy[p] < cfg.Partitions[p] {
+				start(p)
+			}
+		}
+	}
+	return met.result(), nil
+}

@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/phase"
+)
+
+// RunTimeSharing simulates the pure time-sharing baseline of the paper's
+// introduction: a single global FCFS round-robin queue in which each job
+// in turn receives the whole machine (running on its g(p) processors, the
+// rest idle) for one quantum drawn from its class's quantum distribution,
+// with the class's context-switch overhead paid between consecutive
+// quanta. Preemption is preempt-resume.
+func RunTimeSharing(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := cfg.Model
+	l := m.NumClasses()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	met := newMetrics(l, cfg.Warmup, cfg.Horizon, cfg.Batches)
+	var cal calendar
+	src := cfg.source(m, rng)
+	qS := make([]*phase.Sampler, l)
+	oS := make([]*phase.Sampler, l)
+	inSystem := make([]int, l)
+	scheduleNext := func(p int) {
+		if at, svc, ok := src.next(p); ok {
+			cal.schedule(&event{at: at, kind: evArrival, class: p,
+				job: &job{class: p, arrival: at, service: svc, remaining: svc}})
+		}
+	}
+	for p := 0; p < l; p++ {
+		c := m.Classes[p]
+		qS[p] = phase.NewSampler(c.Quantum)
+		oS[p] = phase.NewSampler(c.Overhead)
+		met.observePop(0, p, 0)
+		scheduleNext(p)
+	}
+
+	var (
+		queue   []*job
+		current *job
+		now     float64
+		epoch   uint64
+		idle    = true
+		inGap   = false // paying a context-switch overhead
+	)
+	startNext := func() {
+		if len(queue) == 0 {
+			idle = true
+			current = nil
+			return
+		}
+		idle = false
+		inGap = false
+		current = queue[0]
+		queue = queue[1:]
+		current.running = true
+		current.startedAt = now
+		epoch++
+		q := qS[current.class].Sample(rng)
+		if q >= current.remaining {
+			cal.schedule(&event{at: now + current.remaining, kind: evCompletion, job: current, epoch: epoch})
+		} else {
+			cal.schedule(&event{at: now + q, kind: evQuantumEnd, epoch: epoch})
+		}
+	}
+	beginGap := func(class int) {
+		inGap = true
+		epoch++
+		cal.schedule(&event{at: now + oS[class].Sample(rng), kind: evOverheadEnd, epoch: epoch})
+	}
+
+	for !cal.empty() {
+		e := cal.next()
+		if e.at > cfg.Horizon {
+			break
+		}
+		now = e.at
+		switch e.kind {
+		case evArrival:
+			p := e.class
+			inSystem[p]++
+			met.observeArrival(now, p)
+			met.observePop(now, p, inSystem[p])
+			queue = append(queue, e.job)
+			scheduleNext(p)
+			if idle && !inGap {
+				startNext()
+			}
+		case evCompletion:
+			if e.epoch != epoch || current != e.job {
+				break
+			}
+			p := current.class
+			current.running = false
+			inSystem[p]--
+			met.observePop(now, p, inSystem[p])
+			met.observeResponse(now, p, now-current.arrival, current.service)
+			done := current
+			current = nil
+			if len(queue) > 0 {
+				beginGap(done.class)
+			} else {
+				idle = true
+			}
+		case evQuantumEnd:
+			if e.epoch != epoch || current == nil {
+				break
+			}
+			current.remaining -= now - current.startedAt
+			if current.remaining < 0 {
+				current.remaining = 0
+			}
+			current.running = false
+			queue = append(queue, current) // round-robin: back of the line
+			cls := current.class
+			current = nil
+			beginGap(cls)
+		case evOverheadEnd:
+			if e.epoch != epoch || !inGap {
+				break
+			}
+			startNext()
+		}
+	}
+	return met.result(), nil
+}

@@ -1,0 +1,121 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Quantile estimates a single quantile of a stream in O(1) space using the
+// P² algorithm (Jain & Chlamtac, 1985). It keeps five markers whose
+// positions are nudged toward the ideal quantile positions with parabolic
+// interpolation — no sample storage, deterministic, and accurate to well
+// under a percent for the smooth response-time distributions produced by
+// the simulator.
+type Quantile struct {
+	p     float64
+	n     int
+	q     [5]float64 // marker heights
+	pos   [5]float64 // actual marker positions (1-based)
+	want  [5]float64 // desired positions
+	inc   [5]float64 // desired-position increments
+	first []float64  // first five observations, pre-initialization
+}
+
+// NewQuantile creates an estimator for the p-quantile, 0 < p < 1.
+func NewQuantile(p float64) *Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: quantile %g outside (0,1)", p))
+	}
+	return &Quantile{
+		p:    p,
+		want: [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5},
+		inc:  [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Add feeds one observation.
+func (e *Quantile) Add(x float64) {
+	e.n++
+	if len(e.first) < 5 {
+		e.first = append(e.first, x)
+		if len(e.first) == 5 {
+			sort.Float64s(e.first)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.first[i]
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	// Find the cell containing x and update the extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.inc[i]
+	}
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			sgn := 1.0
+			if d < 0 {
+				sgn = -1
+			}
+			qn := e.parabolic(i, sgn)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, sgn)
+			}
+			e.pos[i] += sgn
+		}
+	}
+}
+
+func (e *Quantile) parabolic(i int, d float64) float64 {
+	qi, qm, qp := e.q[i], e.q[i-1], e.q[i+1]
+	ni, nm, np := e.pos[i], e.pos[i-1], e.pos[i+1]
+	return qi + d/(np-nm)*((ni-nm+d)*(qp-qi)/(np-ni)+(np-ni-d)*(qi-qm)/(ni-nm))
+}
+
+func (e *Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current estimate. With fewer than five observations
+// it falls back to the sorted-sample quantile.
+func (e *Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if len(e.first) < 5 {
+		s := append([]float64(nil), e.first...)
+		sort.Float64s(s)
+		idx := int(e.p * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// Count returns the number of observations seen.
+func (e *Quantile) Count() int { return e.n }

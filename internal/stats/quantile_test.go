@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, p := range []float64{0.5, 0.9, 0.99} {
+		q := NewQuantile(p)
+		for i := 0; i < 200000; i++ {
+			q.Add(rng.Float64())
+		}
+		if math.Abs(q.Value()-p) > 0.01 {
+			t.Fatalf("p=%g: estimate %g", p, q.Value())
+		}
+	}
+}
+
+func TestQuantileExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	q := NewQuantile(0.95)
+	for i := 0; i < 200000; i++ {
+		q.Add(rng.ExpFloat64())
+	}
+	want := -math.Log(0.05) // ≈ 2.996
+	if math.Abs(q.Value()-want)/want > 0.03 {
+		t.Fatalf("p95 of Exp(1): estimate %g, want %g", q.Value(), want)
+	}
+}
+
+func TestQuantileSmallSamples(t *testing.T) {
+	q := NewQuantile(0.5)
+	if q.Value() != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+	for _, x := range []float64{3, 1, 2} {
+		q.Add(x)
+	}
+	if q.Value() != 2 {
+		t.Fatalf("median of {1,2,3} = %g, want 2", q.Value())
+	}
+	if q.Count() != 3 {
+		t.Fatalf("count = %d", q.Count())
+	}
+}
+
+func TestQuantileBadP(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewQuantile(%g) should panic", p)
+				}
+			}()
+			NewQuantile(p)
+		}()
+	}
+}
+
+func TestPropertyQuantileVsExact(t *testing.T) {
+	// On moderate lognormal-ish streams the P² estimate must sit within a
+	// few percent of the exact sample quantile.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuantile(0.9)
+		xs := make([]float64, 20000)
+		for i := range xs {
+			xs[i] = math.Exp(rng.NormFloat64() * 0.5)
+			q.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		exact := xs[int(0.9*float64(len(xs)))]
+		return math.Abs(q.Value()-exact)/exact < 0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyQuantileWithinRange(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw) + 1
+		rng := rand.New(rand.NewSource(seed))
+		q := NewQuantile(0.75)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			x := rng.NormFloat64()
+			lo = math.Min(lo, x)
+			hi = math.Max(hi, x)
+			q.Add(x)
+		}
+		v := q.Value()
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

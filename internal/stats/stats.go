@@ -1,0 +1,166 @@
+// Package stats provides the output-analysis machinery for the
+// discrete-event simulations: time-weighted averages, plain summary
+// statistics, and batch-means confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// TimeWeighted integrates a piecewise-constant quantity over time, e.g.
+// the number of jobs in the system, and reports its time average.
+type TimeWeighted struct {
+	lastT   float64
+	lastV   float64
+	area    float64
+	started bool
+	startT  float64
+}
+
+// Observe records that the quantity changed to v at time t. Observations
+// must be in non-decreasing time order.
+func (w *TimeWeighted) Observe(t, v float64) {
+	if !w.started {
+		w.started = true
+		w.startT = t
+	} else {
+		if t < w.lastT {
+			panic(fmt.Sprintf("stats: time went backwards: %g after %g", t, w.lastT))
+		}
+		w.area += (t - w.lastT) * w.lastV
+	}
+	w.lastT, w.lastV = t, v
+}
+
+// Mean returns the time average over [start, upTo]; upTo must be at least
+// the last observation time.
+func (w *TimeWeighted) Mean(upTo float64) float64 {
+	if !w.started || upTo <= w.startT {
+		return 0
+	}
+	area := w.area + (upTo-w.lastT)*w.lastV
+	return area / (upTo - w.startT)
+}
+
+// Reset restarts the integrator at time t with current value v, discarding
+// accumulated area (used to drop warmup).
+func (w *TimeWeighted) Reset(t, v float64) {
+	w.started = true
+	w.startT = t
+	w.lastT, w.lastV = t, v
+	w.area = 0
+}
+
+// Current returns the last observed value.
+func (w *TimeWeighted) Current() float64 { return w.lastV }
+
+// Summary accumulates scalar observations (e.g. response times).
+type Summary struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	s.sum += x
+	s.sumSq += x * x
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() int { return s.n }
+
+// Mean returns the sample mean (0 when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// Variance returns the unbiased sample variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sumSq - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation (0 when empty).
+func (s *Summary) Max() float64 { return s.max }
+
+// BatchMeans implements the method of non-overlapping batch means for
+// confidence intervals on steady-state simulation output.
+type BatchMeans struct {
+	batches []float64
+}
+
+// AddBatch records the mean of one batch.
+func (b *BatchMeans) AddBatch(mean float64) { b.batches = append(b.batches, mean) }
+
+// Count returns the number of batches.
+func (b *BatchMeans) Count() int { return len(b.batches) }
+
+// Mean returns the grand mean across batches.
+func (b *BatchMeans) Mean() float64 {
+	if len(b.batches) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range b.batches {
+		s += x
+	}
+	return s / float64(len(b.batches))
+}
+
+// HalfWidth returns the half-width of an approximate 95% confidence
+// interval for the steady-state mean, using a Student-t critical value.
+func (b *BatchMeans) HalfWidth() float64 {
+	n := len(b.batches)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	m := b.Mean()
+	var ss float64
+	for _, x := range b.batches {
+		ss += (x - m) * (x - m)
+	}
+	se := math.Sqrt(ss / float64(n-1) / float64(n))
+	return tCritical95(n-1) * se
+}
+
+// tCritical95 returns the two-sided 95% Student-t critical value for the
+// given degrees of freedom (tabulated; asymptotes to 1.96).
+func tCritical95(df int) float64 {
+	table := []float64{
+		0, 12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+		2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093,
+		2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045,
+	}
+	if df <= 0 {
+		return math.Inf(1)
+	}
+	if df < len(table) {
+		return table[df]
+	}
+	return 1.96 + 2.5/float64(df) // smooth tail approximation
+}

@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeWeightedConstant(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 3)
+	if got := w.Mean(10); got != 3 {
+		t.Fatalf("mean = %g, want 3", got)
+	}
+}
+
+func TestTimeWeightedStep(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 0)
+	w.Observe(5, 2) // 0 for 5 units
+	// 2 for 5 units: mean = (0·5 + 2·5)/10 = 1.
+	if got := w.Mean(10); got != 1 {
+		t.Fatalf("mean = %g, want 1", got)
+	}
+}
+
+func TestTimeWeightedReset(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(0, 100)
+	w.Reset(10, 4)
+	if got := w.Mean(20); got != 4 {
+		t.Fatalf("mean after reset = %g, want 4", got)
+	}
+	if w.Current() != 4 {
+		t.Fatalf("current = %g, want 4", w.Current())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	var w TimeWeighted
+	w.Observe(5, 1)
+	w.Observe(4, 1)
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4} {
+		s.Add(x)
+	}
+	if s.Count() != 4 || s.Mean() != 2.5 || s.Min() != 1 || s.Max() != 4 {
+		t.Fatalf("summary wrong: n=%d mean=%g min=%g max=%g", s.Count(), s.Mean(), s.Min(), s.Max())
+	}
+	// Sample variance of 1..4 is 5/3.
+	if math.Abs(s.Variance()-5.0/3) > 1e-12 {
+		t.Fatalf("variance = %g, want 5/3", s.Variance())
+	}
+	if math.Abs(s.StdDev()-math.Sqrt(5.0/3)) > 1e-12 {
+		t.Fatalf("stddev = %g", s.StdDev())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.Count() != 0 {
+		t.Fatal("empty summary should be all zeros")
+	}
+}
+
+func TestBatchMeansCoverage(t *testing.T) {
+	// CI from iid normal batches should cover the true mean ~95% of the
+	// time; check it covers in a large majority of trials.
+	rng := rand.New(rand.NewSource(99))
+	const trials = 300
+	covered := 0
+	for i := 0; i < trials; i++ {
+		var b BatchMeans
+		for j := 0; j < 12; j++ {
+			b.AddBatch(5 + rng.NormFloat64())
+		}
+		if math.Abs(b.Mean()-5) <= b.HalfWidth() {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.88 || frac > 0.995 {
+		t.Fatalf("coverage = %g, want ≈ 0.95", frac)
+	}
+}
+
+func TestBatchMeansDegenerate(t *testing.T) {
+	var b BatchMeans
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Fatal("no batches should give infinite half-width")
+	}
+	b.AddBatch(1)
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Fatal("one batch should give infinite half-width")
+	}
+	b.AddBatch(1)
+	if b.HalfWidth() != 0 {
+		t.Fatalf("identical batches should give zero half-width, got %g", b.HalfWidth())
+	}
+	if b.Mean() != 1 {
+		t.Fatalf("mean = %g, want 1", b.Mean())
+	}
+}
+
+func TestTCriticalMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for df := 1; df < 200; df++ {
+		c := tCritical95(df)
+		if c > prev+1e-12 {
+			t.Fatalf("t-critical not monotone at df=%d: %g > %g", df, c, prev)
+		}
+		prev = c
+	}
+	if math.Abs(tCritical95(1000)-1.96) > 0.01 {
+		t.Fatalf("asymptote wrong: %g", tCritical95(1000))
+	}
+}
+
+func TestPropertySummaryMatchesDirect(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		n := int(nRaw%50) + 2
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+			s.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var varr float64
+		for _, x := range xs {
+			varr += (x - mean) * (x - mean)
+		}
+		varr /= float64(n - 1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Variance()-varr) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTimeWeightedBounds(t *testing.T) {
+	// The time average of a signal lies within its observed range.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var w TimeWeighted
+		tm := 0.0
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 20; i++ {
+			v := rng.Float64() * 10
+			w.Observe(tm, v)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			tm += rng.Float64()
+		}
+		m := w.Mean(tm + 1)
+		return m >= lo-1e-12 && m <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
