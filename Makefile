@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: build vet test race ci bench bench-sweep
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: clean build, vet, and the full suite under the race
+# detector (the sweep harness is the concurrency-heavy subsystem).
+ci: build vet race
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# bench-sweep regenerates the committed serial-vs-parallel sweep
+# throughput baseline (BENCH_sweep.json).
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem -count 1 ./internal/sweep | tee bench_sweep.out
+	awk -f scripts/benchjson.awk bench_sweep.out > BENCH_sweep.json
+	rm -f bench_sweep.out
+	cat BENCH_sweep.json

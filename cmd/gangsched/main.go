@@ -46,7 +46,9 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Simulate: *simulate, Seed: *seed, Horizon: *horizon}
+	// seed is already a pointer (flag.Int64), so an explicit -seed 0 is
+	// honored rather than falling back to the 1996 default.
+	opts := experiments.Options{Simulate: *simulate, Seed: seed, Horizon: *horizon}
 
 	if *fig == 1 {
 		dot, err := core.StateDiagramDOT(core.Figure1Model(*erlangK), 0, nil, 4)

@@ -4,10 +4,20 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/phase"
 	"repro/internal/qbd"
 )
+
+// solveCalls counts analytic solver invocations (Solve,
+// SolveHeavyTraffic, SolveExactTwoClass) since process start. The sweep
+// harness uses it to prove that a warm-cache run performs no solver work.
+var solveCalls atomic.Int64
+
+// SolveCalls returns the number of analytic solver invocations so far in
+// this process. Monotone; safe for concurrent use.
+func SolveCalls() int64 { return solveCalls.Load() }
 
 // SolveOptions tune the analytic solution.
 type SolveOptions struct {
@@ -146,6 +156,7 @@ func Solve(m *Model, opts SolveOptions) (*Result, error) {
 }
 
 func solve(m *Model, opts SolveOptions) (*Result, error) {
+	solveCalls.Add(1)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

@@ -137,18 +137,18 @@ func PolicyComparison(opts Options) (*Table, error) {
 	sizes := []int{1, 2, 4, 8}
 	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8} {
 		m := PaperModel(same4(rho), PaperServiceRates, same4(1), 0.01)
-		gang, err := sim.RunGang(sim.Config{Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon})
+		gang, err := sim.RunGang(sim.Config{Model: m, Seed: *opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon})
 		if err != nil {
 			return nil, err
 		}
 		space, err := sim.RunSpaceSharing(sim.SpaceConfig{
-			Config:     sim.Config{Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon},
+			Config:     sim.Config{Model: m, Seed: *opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon},
 			Partitions: sim.EqualShareAllocation(8, sizes),
 		})
 		if err != nil {
 			return nil, err
 		}
-		ts, err := sim.RunTimeSharing(sim.Config{Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon})
+		ts, err := sim.RunTimeSharing(sim.Config{Model: m, Seed: *opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon})
 		if err != nil {
 			return nil, err
 		}
@@ -170,11 +170,11 @@ func LocalSwitchComparison(opts Options) (*Table, error) {
 	}
 	for _, rho := range []float64{0.2, 0.4, 0.6, 0.8, 0.9} {
 		m := PaperModel(same4(rho), PaperServiceRates, same4(1), 0.01)
-		sys, err := sim.RunGang(sim.Config{Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon})
+		sys, err := sim.RunGang(sim.Config{Model: m, Seed: *opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon})
 		if err != nil {
 			return nil, err
 		}
-		loc, err := sim.RunGang(sim.Config{Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon, LocalSwitch: true})
+		loc, err := sim.RunGang(sim.Config{Model: m, Seed: *opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon, LocalSwitch: true})
 		if err != nil {
 			return nil, err
 		}

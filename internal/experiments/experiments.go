@@ -6,26 +6,38 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/phase"
 	"repro/internal/plot"
-	"repro/internal/sim"
+	"repro/internal/sweep"
 )
+
+// DefaultSeed is the simulation seed used when Options.Seed is nil — the
+// paper's publication year, as everywhere in EXPERIMENTS.md.
+const DefaultSeed int64 = 1996
 
 // Options control experiment execution.
 type Options struct {
 	// Simulate adds discrete-event simulation columns next to the
 	// analytic ones.
 	Simulate bool
-	// Seed for the simulations.
-	Seed int64
+	// Seed for the simulations. Nil means DefaultSeed (1996); an
+	// explicit pointer — including a pointer to zero — is honored as-is.
+	// (A plain int64 would conflate an explicit zero seed with "unset".)
+	Seed *int64
 	// Warmup and Horizon for the simulations (defaults 2e4 / 2.2e5).
 	Warmup, Horizon float64
-	// Solve forwards options to the analytic solver.
+	// Solve forwards options to the analytic solver (the QBD R-matrix
+	// options keep their defaults on the harness path).
 	Solve core.SolveOptions
+	// Workers sizes the sweep-harness pool executing the figure grids;
+	// 0 means runtime.NumCPU().
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -35,19 +47,20 @@ func (o Options) withDefaults() Options {
 	if o.Horizon == 0 {
 		o.Horizon = 2.2e5
 	}
-	if o.Seed == 0 {
-		o.Seed = 1996
+	if o.Seed == nil {
+		seed := DefaultSeed
+		o.Seed = &seed
 	}
 	return o
 }
 
 // Table is a printable experiment result: one row per sweep point.
 type Table struct {
-	Title   string
-	XLabel  string
-	Columns []string
-	Rows    [][]float64
-	Notes   string
+	Title   string      `json:"title"`
+	XLabel  string      `json:"xLabel"`
+	Columns []string    `json:"columns"`
+	Rows    [][]float64 `json:"rows"`
+	Notes   string      `json:"notes,omitempty"`
 }
 
 // String renders the table as aligned text.
@@ -91,6 +104,26 @@ func (t *Table) CSV() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// JSON renders the table as indented JSON — the same shape the sweep
+// harness's run artifacts use, so tables round-trip losslessly through
+// TableFromJSON.
+func (t *Table) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// TableFromJSON parses a table previously rendered by JSON.
+func TableFromJSON(data []byte) (*Table, error) {
+	var t Table
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("experiments: parsing table: %w", err)
+	}
+	return &t, nil
 }
 
 // Chart converts the table into an ASCII chart of its first n columns
@@ -145,6 +178,79 @@ func PaperModel(lambda [4]float64, mu [4]float64, quantumMean [4]float64, overhe
 
 func same4(v float64) [4]float64 { return [4]float64{v, v, v, v} }
 
+// PaperScenario is the sweep-harness (plain data) counterpart of
+// PaperModel: the §5 machine with the given rates, quantum means and a
+// common overhead mean.
+func PaperScenario(lambda, mu, quantumMean [4]float64, overheadMean float64) sweep.Scenario {
+	sc := sweep.Scenario{Processors: 8}
+	for p := 0; p < 4; p++ {
+		sc.Classes = append(sc.Classes, sweep.ClassSpec{
+			Partition:    1 << p,
+			Lambda:       lambda[p],
+			Mu:           mu[p],
+			QuantumMean:  quantumMean[p],
+			OverheadMean: overheadMean,
+		})
+	}
+	return sc
+}
+
+// runFigureSweep executes one analytic trial (plus an optional simulation
+// trial) per x-value through the sweep harness and appends the assembled
+// rows to the table: [x, N0..N3, (simN0, ci0, ...)]. Trials run on the
+// harness worker pool but rows are assembled in x order, so the table is
+// identical whatever the parallelism.
+func runFigureSweep(t *Table, xs []float64, scenarioAt func(x float64) sweep.Scenario, opts Options) error {
+	per := 1
+	if opts.Simulate {
+		per = 2
+	}
+	trials := make([]sweep.Trial, 0, per*len(xs))
+	for _, x := range xs {
+		sc := scenarioAt(x)
+		point := map[string]float64{t.XLabel: x}
+		trials = append(trials, sweep.Trial{
+			Scenario: sc, Method: sweep.MethodAnalytic,
+			Solve: sweep.SolveParamsFrom(opts.Solve), Point: point,
+		})
+		if opts.Simulate {
+			trials = append(trials, sweep.Trial{
+				Scenario: sc, Method: sweep.MethodSim, Seed: *opts.Seed,
+				Sim:   sweep.SimParams{Warmup: opts.Warmup, Horizon: opts.Horizon},
+				Point: point,
+			})
+		}
+	}
+	run, err := sweep.RunTrials(context.Background(), trials, sweep.Options{
+		Name: t.Title, Workers: opts.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	nClasses := len(trials[0].Scenario.Classes)
+	for i, x := range xs {
+		ana := run.Results[i*per]
+		if ana.Err != "" {
+			return fmt.Errorf("experiments: %s %g: %s", t.XLabel, x, ana.Err)
+		}
+		row := []float64{x}
+		for p := 0; p < nClasses; p++ {
+			row = append(row, ana.Values[fmt.Sprintf("N%d", p)])
+		}
+		if opts.Simulate {
+			sres := run.Results[i*per+1]
+			if sres.Err != "" {
+				return fmt.Errorf("experiments: %s %g sim: %s", t.XLabel, x, sres.Err)
+			}
+			for p := 0; p < nClasses; p++ {
+				row = append(row, sres.Values[fmt.Sprintf("simN%d", p)], sres.Values[fmt.Sprintf("ci%d", p)])
+			}
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return nil
+}
+
 // QuantumSweep holds the x-axis of Figures 2–3. The 0.1 point captures the
 // paper's steep left branch where the 0.01 context-switch overhead
 // dominates the quantum.
@@ -176,13 +282,11 @@ func quantumLengthFigure(title string, lambda float64, opts Options) (*Table, er
 			t.Columns = append(t.Columns, fmt.Sprintf("simN%d", p), fmt.Sprintf("ci%d", p))
 		}
 	}
-	for _, q := range QuantumSweep {
-		m := PaperModel(same4(lambda), PaperServiceRates, same4(q), 0.01)
-		row, err := solveRow(m, q, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: quantum %g: %w", q, err)
-		}
-		t.Rows = append(t.Rows, row)
+	err := runFigureSweep(t, QuantumSweep, func(q float64) sweep.Scenario {
+		return PaperScenario(same4(lambda), PaperServiceRates, same4(q), 0.01)
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -207,13 +311,11 @@ func Figure4(opts Options) (*Table, error) {
 			t.Columns = append(t.Columns, fmt.Sprintf("simN%d", p), fmt.Sprintf("ci%d", p))
 		}
 	}
-	for _, mu := range ServiceRateSweep {
-		m := PaperModel(same4(0.6), same4(mu), same4(5), 0.01)
-		row, err := solveRow(m, mu, opts)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: mu %g: %w", mu, err)
-		}
-		t.Rows = append(t.Rows, row)
+	err := runFigureSweep(t, ServiceRateSweep, func(mu float64) sweep.Scenario {
+		return PaperScenario(same4(0.6), same4(mu), same4(5), 0.01)
+	}, opts)
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -247,62 +349,67 @@ func Figure5(opts Options) (*Table, error) {
 		}
 	}
 	budget := cycle - 4*overhead
+	var shares []float64
 	for _, x := range ShareSweep {
-		own := x * cycle
-		if own >= budget {
-			continue
+		if x*cycle < budget {
+			shares = append(shares, x)
 		}
+	}
+	// Class p's curve comes from the model in which p holds share x, so
+	// each x expands into four scenarios — a custom grid the declarative
+	// axes cannot express, built directly on the harness's trial API.
+	per := 1
+	if opts.Simulate {
+		per = 2
+	}
+	trials := make([]sweep.Trial, 0, 4*per*len(shares))
+	for _, x := range shares {
+		own := x * cycle
 		rest := (budget - own) / 3
-		row := []float64{x}
-		simRow := []float64{}
-		// Class p's curve comes from the model in which p holds share x.
 		for p := 0; p < 4; p++ {
 			q := same4(rest)
 			q[p] = own
-			m := PaperModel(same4(0.6), mu, q, overhead)
-			res, err := core.Solve(m, opts.Solve)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: share %g class %d: %w", x, p, err)
-			}
-			row = append(row, nOrInf(res.Classes[p]))
+			sc := PaperScenario(same4(0.6), mu, q, overhead)
+			point := map[string]float64{"share": x, "class": float64(p)}
+			trials = append(trials, sweep.Trial{
+				Scenario: sc, Method: sweep.MethodAnalytic,
+				Solve: sweep.SolveParamsFrom(opts.Solve), Point: point,
+			})
 			if opts.Simulate {
-				sres, err := sim.RunGang(sim.Config{
-					Model: m, Seed: opts.Seed + int64(p), Warmup: opts.Warmup, Horizon: opts.Horizon,
+				trials = append(trials, sweep.Trial{
+					Scenario: sc, Method: sweep.MethodSim, Seed: *opts.Seed + int64(p),
+					Sim:   sweep.SimParams{Warmup: opts.Warmup, Horizon: opts.Horizon},
+					Point: point,
 				})
-				if err != nil {
-					return nil, err
+			}
+		}
+	}
+	run, err := sweep.RunTrials(context.Background(), trials, sweep.Options{
+		Name: t.Title, Workers: opts.Workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for xi, x := range shares {
+		row := []float64{x}
+		simRow := []float64{}
+		for p := 0; p < 4; p++ {
+			res := run.Results[(xi*4+p)*per]
+			if res.Err != "" {
+				return nil, fmt.Errorf("experiments: share %g class %d: %s", x, p, res.Err)
+			}
+			row = append(row, res.Values[fmt.Sprintf("N%d", p)])
+			if opts.Simulate {
+				sres := run.Results[(xi*4+p)*per+1]
+				if sres.Err != "" {
+					return nil, fmt.Errorf("experiments: share %g class %d sim: %s", x, p, sres.Err)
 				}
-				simRow = append(simRow, sres.Classes[p].MeanJobs, sres.Classes[p].MeanJobsCI)
+				simRow = append(simRow, sres.Values[fmt.Sprintf("simN%d", p)], sres.Values[fmt.Sprintf("ci%d", p)])
 			}
 		}
 		t.Rows = append(t.Rows, append(row, simRow...))
 	}
 	return t, nil
-}
-
-// solveRow computes one sweep row: analytic N per class, then optionally
-// simulated N and CI per class.
-func solveRow(m *core.Model, x float64, opts Options) ([]float64, error) {
-	res, err := core.Solve(m, opts.Solve)
-	if err != nil && err != core.ErrAllUnstable {
-		return nil, err
-	}
-	row := []float64{x}
-	for p := range m.Classes {
-		row = append(row, nOrInf(res.Classes[p]))
-	}
-	if opts.Simulate {
-		sres, err := sim.RunGang(sim.Config{
-			Model: m, Seed: opts.Seed, Warmup: opts.Warmup, Horizon: opts.Horizon,
-		})
-		if err != nil {
-			return nil, err
-		}
-		for p := range m.Classes {
-			row = append(row, sres.Classes[p].MeanJobs, sres.Classes[p].MeanJobsCI)
-		}
-	}
-	return row, nil
 }
 
 // nOrInf encodes an unstable class as a large sentinel so sweeps that

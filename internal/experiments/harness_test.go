@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	in := &Table{
+		Title:   "round trip",
+		XLabel:  "x",
+		Columns: []string{"a", "b"},
+		Rows:    [][]float64{{1, 2.5, -1}, {2, 3.25, 0.125}},
+		Notes:   "notes survive too",
+	}
+	data, err := in.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := TableFromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Title != in.Title || out.XLabel != in.XLabel || out.Notes != in.Notes {
+		t.Fatalf("metadata mangled: %+v", out)
+	}
+	if len(out.Columns) != 2 || out.Columns[1] != "b" {
+		t.Fatalf("columns mangled: %v", out.Columns)
+	}
+	for i, row := range in.Rows {
+		for j, v := range row {
+			if out.Rows[i][j] != v {
+				t.Fatalf("row %d col %d: %g != %g", i, j, out.Rows[i][j], v)
+			}
+		}
+	}
+	// And the rendered forms agree (same table, same text).
+	if in.String() != out.String() || in.CSV() != out.CSV() {
+		t.Fatal("rendered forms differ after round trip")
+	}
+}
+
+// TestExplicitZeroSeed pins the Options.Seed contract: nil means the
+// 1996 default, but a pointer to zero is a real seed, not "unset".
+func TestExplicitZeroSeed(t *testing.T) {
+	if got := *(Options{}).withDefaults().Seed; got != DefaultSeed {
+		t.Fatalf("nil seed defaulted to %d, want %d", got, DefaultSeed)
+	}
+	zero := int64(0)
+	if got := *(Options{Seed: &zero}).withDefaults().Seed; got != 0 {
+		t.Fatalf("explicit zero seed became %d", got)
+	}
+	other := int64(7)
+	if got := *(Options{Seed: &other}).withDefaults().Seed; got != 7 {
+		t.Fatalf("explicit seed became %d", got)
+	}
+}
+
+// TestFigureParallelMatchesSerial checks the figure path end to end: the
+// sweep harness must assemble identical tables whatever the pool size.
+func TestFigureParallelMatchesSerial(t *testing.T) {
+	serial, err := Figure4(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Figure4(Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() || serial.CSV() != parallel.CSV() {
+		t.Fatal("Figure 4 differs between Workers:1 and Workers:4")
+	}
+}

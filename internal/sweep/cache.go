@@ -1,0 +1,137 @@
+package sweep
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Cache is the two-tier trial-result store: an in-memory map always, and
+// an append-only JSONL file underneath it when opened with a directory.
+// Keys are content hashes of the trials (Trial.Key), so the cache is
+// safely shared between unrelated sweeps, and interrupted or repeated
+// runs skip every trial whose result is already on disk. Only successful
+// results are stored; errors and panics are always retried on a re-run.
+type Cache struct {
+	mu   sync.Mutex
+	mem  map[string]map[string]float64
+	file *os.File
+	enc  *json.Encoder
+	w    *bufio.Writer
+}
+
+// cacheRecord is one JSONL line of the on-disk store.
+type cacheRecord struct {
+	Key    string             `json:"key"`
+	Values map[string]float64 `json:"values"`
+}
+
+// NewMemCache returns a memory-only cache (no persistence).
+func NewMemCache() *Cache {
+	return &Cache{mem: make(map[string]map[string]float64)}
+}
+
+// OpenCache opens (creating as needed) the disk-backed cache in dir,
+// loading every existing record into memory. Corrupt trailing lines —
+// e.g. from a run killed mid-write — are skipped, not fatal.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: cache dir: %w", err)
+	}
+	path := filepath.Join(dir, "cache.jsonl")
+	c := NewMemCache()
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+		for sc.Scan() {
+			var rec cacheRecord
+			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
+				continue
+			}
+			c.mem[rec.Key] = rec.Values
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("sweep: cache read: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: cache open: %w", err)
+	}
+	c.file = f
+	c.w = bufio.NewWriter(f)
+	c.enc = json.NewEncoder(c.w)
+	return c, nil
+}
+
+// Get returns the cached values for key, if present.
+func (c *Cache) Get(key string) (map[string]float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.mem[key]
+	return v, ok
+}
+
+// Put stores values under key, appending to the disk store when one is
+// attached. Re-putting an existing key is a no-op.
+func (c *Cache) Put(key string, values map[string]float64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.mem[key]; ok {
+		return nil
+	}
+	c.mem[key] = values
+	if c.enc == nil {
+		return nil
+	}
+	if err := c.enc.Encode(cacheRecord{Key: key, Values: values}); err != nil {
+		return fmt.Errorf("sweep: cache append: %w", err)
+	}
+	return c.w.Flush()
+}
+
+// Reset discards every cached result, truncating the disk store when
+// one is attached — the "start cold" escape hatch for a cache whose
+// inputs are suspected stale.
+func (c *Cache) Reset() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem = make(map[string]map[string]float64)
+	if c.file == nil {
+		return nil
+	}
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if err := c.file.Truncate(0); err != nil {
+		return fmt.Errorf("sweep: cache reset: %w", err)
+	}
+	_, err := c.file.Seek(0, 0)
+	return err
+}
+
+// Len reports the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.mem)
+}
+
+// Close flushes and releases the disk store, if any.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.file == nil {
+		return nil
+	}
+	if err := c.w.Flush(); err != nil {
+		c.file.Close()
+		return err
+	}
+	err := c.file.Close()
+	c.file, c.enc, c.w = nil, nil, nil
+	return err
+}

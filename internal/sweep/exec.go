@@ -1,0 +1,94 @@
+package sweep
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Default simulation window, matching internal/experiments.
+const (
+	defaultWarmup  = 2e4
+	defaultHorizon = 2.2e5
+)
+
+// Unstable is the sentinel value recorded for a class past its stability
+// boundary, so sweeps that cross the boundary still produce full grids.
+const Unstable = -1
+
+// execute runs one trial attempt and returns its named result values.
+// converged is false only for analytic fixed points that hit their
+// iteration budget — the runner retries those with an escalated budget.
+// Declared as a variable so tests can stub the executor.
+var execute = func(t Trial) (values map[string]float64, converged bool, err error) {
+	m, err := t.Scenario.Model()
+	if err != nil {
+		return nil, true, err
+	}
+	switch t.Method {
+	case MethodAnalytic, MethodHeavy:
+		solve := core.Solve
+		if t.Method == MethodHeavy {
+			solve = core.SolveHeavyTraffic
+		}
+		res, err := solve(m, t.Solve.coreOptions())
+		if err != nil && !errors.Is(err, core.ErrAllUnstable) {
+			return nil, true, err
+		}
+		values = make(map[string]float64, 2*len(res.Classes)+3)
+		for p, cr := range res.Classes {
+			if !cr.Stable {
+				values[fmt.Sprintf("N%d", p)] = Unstable
+				values[fmt.Sprintf("T%d", p)] = Unstable
+				continue
+			}
+			values[fmt.Sprintf("N%d", p)] = cr.N
+			values[fmt.Sprintf("T%d", p)] = cr.T
+		}
+		values["totalN"] = res.TotalN
+		values["iterations"] = float64(res.Iterations)
+		values["meanCycle"] = res.MeanCycle
+		return values, res.Converged || t.Method == MethodHeavy, nil
+
+	case MethodSim:
+		cfg := sim.Config{
+			Model: m, Seed: t.Seed,
+			Warmup: t.Sim.Warmup, Horizon: t.Sim.Horizon,
+			Batches: t.Sim.Batches, LocalSwitch: t.Sim.LocalSwitch,
+		}
+		if cfg.Warmup == 0 {
+			cfg.Warmup = defaultWarmup
+		}
+		if cfg.Horizon == 0 {
+			cfg.Horizon = defaultHorizon
+		}
+		res, err := sim.RunGang(cfg)
+		if err != nil {
+			return nil, true, err
+		}
+		values = make(map[string]float64, 2*len(res.Classes)+1)
+		for p, cm := range res.Classes {
+			values[fmt.Sprintf("simN%d", p)] = cm.MeanJobs
+			values[fmt.Sprintf("ci%d", p)] = cm.MeanJobsCI
+			values[fmt.Sprintf("simT%d", p)] = cm.MeanResponse
+		}
+		values["totalSimN"] = res.TotalMeanJobs
+		return values, true, nil
+
+	case MethodExact2:
+		res, err := core.SolveExactTwoClass(m, core.ExactTwoClassOptions{
+			Truncation: t.Solve.ExactTruncation,
+		})
+		if err != nil {
+			return nil, true, err
+		}
+		return map[string]float64{
+			"N0": res.N[0], "N1": res.N[1],
+			"T0": res.T[0], "T1": res.T[1],
+			"residual": res.Residual,
+		}, true, nil
+	}
+	return nil, true, fmt.Errorf("sweep: unknown method %q", t.Method)
+}

@@ -1,0 +1,50 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Key returns the trial's content-addressed cache key: a hex SHA-256 of
+// the canonical JSON of everything that determines its numbers. Fields
+// irrelevant to the trial's method are zeroed first (the seed and
+// simulation parameters for analytic methods, the solver parameters for
+// simulation), so e.g. an analytic trial re-run under a different seed
+// still hits the cache. The Point labels never participate: they name
+// the trial, they don't change it.
+//
+// encoding/json marshals struct fields in declaration order and map keys
+// sorted, so the encoding is canonical for the plain-data types involved.
+func (t Trial) Key() string {
+	h := t // shallow copy; only scalar fields are modified below
+	h.Point = nil
+	switch t.Method {
+	case MethodSim:
+		h.Solve = SolveParams{}
+	case MethodExact2:
+		h.Seed = 0
+		h.Sim = SimParams{}
+		// Only the truncation matters to the exact joint solve.
+		h.Solve = SolveParams{ExactTruncation: t.Solve.ExactTruncation}
+	default:
+		h.Seed = 0
+		h.Sim = SimParams{}
+		h.Solve.ExactTruncation = 0
+	}
+	return hashJSON(h)
+}
+
+// Hash fingerprints the whole spec (recorded in the run manifest).
+func (s *Spec) Hash() string { return hashJSON(s) }
+
+func hashJSON(v any) string {
+	data, err := json.Marshal(v)
+	if err != nil {
+		// All hashed types are plain data; a marshal failure is a
+		// programming error.
+		panic("sweep: canonical marshal: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

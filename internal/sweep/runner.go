@@ -1,0 +1,275 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options control sweep execution.
+type Options struct {
+	// Name labels the run in its manifest (Execute uses the spec name
+	// when this is empty).
+	Name string
+	// Workers sizes the pool; 0 means runtime.NumCPU().
+	Workers int
+	// Cache, when non-nil, is consulted before executing each trial and
+	// updated with every successful result.
+	Cache *Cache
+	// MaxRetries bounds the extra attempts granted to an analytic trial
+	// whose fixed point did not converge. Default 2.
+	MaxRetries int
+	// RetryScale multiplies the fixed-point iteration budget on each
+	// retry. Default 4.
+	RetryScale int
+	// Progress, when non-nil, is called after every finished trial with
+	// the completion count (calls are serialized).
+	Progress func(done, total int, r TrialResult)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	}
+	if o.RetryScale == 0 {
+		o.RetryScale = 4
+	}
+	return o
+}
+
+// Trial statuses recorded in the run manifest.
+const (
+	StatusOK       = "ok"
+	StatusCached   = "cached"
+	StatusError    = "error"
+	StatusPanic    = "panic"
+	StatusCanceled = "canceled"
+)
+
+// TrialResult is the outcome of one trial. Only the fields with JSON
+// tags enter the results artifact — execution metadata (status, timing,
+// attempts) lives in the manifest, so result artifacts are byte-identical
+// across runs regardless of worker count or cache temperature.
+type TrialResult struct {
+	Index  int                `json:"index"`
+	Key    string             `json:"key"`
+	Method Method             `json:"method"`
+	Point  map[string]float64 `json:"point,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+	Err    string             `json:"err,omitempty"`
+
+	Status   string        `json:"-"`
+	Attempts int           `json:"-"`
+	Elapsed  time.Duration `json:"-"`
+}
+
+// TrialStatus is the manifest's per-trial execution record.
+type TrialStatus struct {
+	Index    int    `json:"index"`
+	Key      string `json:"key"`
+	Status   string `json:"status"`
+	Attempts int    `json:"attempts,omitempty"`
+	Millis   int64  `json:"millis"`
+	Err      string `json:"err,omitempty"`
+}
+
+// Manifest summarizes a run for reproducibility audits: what was asked,
+// what actually executed, and how the cache behaved.
+type Manifest struct {
+	Name         string        `json:"name"`
+	SpecHash     string        `json:"specHash,omitempty"`
+	Seed         int64         `json:"seed"`
+	Workers      int           `json:"workers"`
+	Trials       int           `json:"trials"`
+	Executed     int           `json:"executed"`
+	CacheHits    int           `json:"cacheHits"`
+	CacheHitRate float64       `json:"cacheHitRate"`
+	Errors       int           `json:"errors"`
+	Panics       int           `json:"panics"`
+	Retries      int           `json:"retries"`
+	Canceled     int           `json:"canceled"`
+	WallMillis   int64         `json:"wallMillis"`
+	TrialsPerSec float64       `json:"trialsPerSec"`
+	PerTrial     []TrialStatus `json:"perTrial"`
+}
+
+// Run is a completed (possibly partially, when canceled) sweep.
+type Run struct {
+	Results  []TrialResult
+	Manifest Manifest
+}
+
+// Execute expands the spec and runs its grid.
+func Execute(ctx context.Context, spec *Spec, opts Options) (*Run, error) {
+	trials, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Name == "" {
+		opts.Name = spec.Name
+	}
+	run, err := RunTrials(ctx, trials, opts)
+	if run != nil {
+		run.Manifest.SpecHash = spec.Hash()
+		run.Manifest.Seed = spec.Seed
+	}
+	return run, err
+}
+
+// RunTrials executes an explicit trial list on the worker pool. Results
+// are indexed like the input regardless of completion order. The only
+// error returned is ctx.Err() after cancellation or deadline — per-trial
+// failures (including panics) are isolated into their TrialResult.
+func RunTrials(ctx context.Context, trials []Trial, opts Options) (*Run, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	results := make([]TrialResult, len(trials))
+
+	indices := make(chan int)
+	var done atomic.Int64
+	var progressMu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = runOne(trials[i], i, opts)
+				n := int(done.Add(1))
+				if opts.Progress != nil {
+					progressMu.Lock()
+					opts.Progress(n, len(trials), results[i])
+					progressMu.Unlock()
+				}
+			}
+		}()
+	}
+
+feed:
+	for i := range trials {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+
+	// Mark trials never started (canceled before being fed).
+	for i := range results {
+		if results[i].Status == "" {
+			results[i] = TrialResult{
+				Index: i, Key: trials[i].Key(), Method: trials[i].Method,
+				Point: trials[i].Point, Status: StatusCanceled,
+				Err: context.Canceled.Error(),
+			}
+		}
+	}
+
+	run := &Run{Results: results}
+	run.Manifest = buildManifest(opts, results, time.Since(start))
+	return run, ctx.Err()
+}
+
+// runOne executes a single trial with cache lookup, panic isolation and
+// retry-with-escalated-iteration-budget on fixed-point non-convergence.
+func runOne(t Trial, index int, opts Options) (r TrialResult) {
+	start := time.Now()
+	r = TrialResult{Index: index, Key: t.Key(), Method: t.Method, Point: t.Point}
+	defer func() { r.Elapsed = time.Since(start) }()
+
+	if opts.Cache != nil {
+		if v, ok := opts.Cache.Get(r.Key); ok {
+			r.Values, r.Status = v, StatusCached
+			return r
+		}
+	}
+
+	for attempt := 1; ; attempt++ {
+		r.Attempts = attempt
+		values, converged, err := attemptTrial(t)
+		switch {
+		case err == errPanic:
+			r.Status = StatusPanic
+			r.Err = fmt.Sprintf("panic in trial %d (%s)", index, t.Method)
+			return r
+		case err != nil:
+			r.Status = StatusError
+			r.Err = err.Error()
+			return r
+		case !converged && t.Method == MethodAnalytic && attempt <= opts.MaxRetries:
+			// Escalate the fixed-point budget and go again: some grid
+			// points near the stability boundary converge slowly.
+			if t.Solve.MaxIterations == 0 {
+				t.Solve.MaxIterations = 200 // core's default
+			}
+			t.Solve.MaxIterations *= opts.RetryScale
+			continue
+		}
+		r.Values, r.Status = values, StatusOK
+		if opts.Cache != nil {
+			if cerr := opts.Cache.Put(r.Key, values); cerr != nil {
+				r.Err = cerr.Error() // persisted result lost, values intact
+			}
+		}
+		return r
+	}
+}
+
+var errPanic = fmt.Errorf("sweep: trial panicked")
+
+// attemptTrial runs one execute attempt with panic isolation.
+func attemptTrial(t Trial) (values map[string]float64, converged bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			values, converged, err = nil, true, errPanic
+		}
+	}()
+	return execute(t)
+}
+
+func buildManifest(opts Options, results []TrialResult, wall time.Duration) Manifest {
+	m := Manifest{
+		Name:       opts.Name,
+		Workers:    opts.Workers,
+		Trials:     len(results),
+		WallMillis: wall.Milliseconds(),
+	}
+	if wall > 0 {
+		m.TrialsPerSec = float64(len(results)) / wall.Seconds()
+	}
+	for _, r := range results {
+		switch r.Status {
+		case StatusCached:
+			m.CacheHits++
+		case StatusOK:
+			m.Executed++
+		case StatusError:
+			m.Executed++
+			m.Errors++
+		case StatusPanic:
+			m.Executed++
+			m.Panics++
+		case StatusCanceled:
+			m.Canceled++
+		}
+		if r.Attempts > 1 {
+			m.Retries += r.Attempts - 1
+		}
+		m.PerTrial = append(m.PerTrial, TrialStatus{
+			Index: r.Index, Key: r.Key, Status: r.Status,
+			Attempts: r.Attempts, Millis: r.Elapsed.Milliseconds(), Err: r.Err,
+		})
+	}
+	if m.Trials > 0 {
+		m.CacheHitRate = float64(m.CacheHits) / float64(m.Trials)
+	}
+	return m
+}

@@ -1,0 +1,62 @@
+# benchjson.awk — convert `go test -bench` output into the BENCH_sweep.json
+# baseline: one record per benchmark plus environment fields and the
+# parallel-over-serial speedup. Usage:
+#
+#   go test -run '^$' -bench BenchmarkSweep -benchmem ./internal/sweep \
+#     | awk -f scripts/benchjson.awk > BENCH_sweep.json
+#
+# The speedup is wall-clock serial/parallel and tracks the core count of
+# the machine the baseline was recorded on (see "cpus").
+
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^pkg:/    { pkg = $2 }
+/^cpu:/    { cpu = $0; sub(/^cpu: */, "", cpu) }
+
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix if present
+    sub(/^Benchmark/, "", name)
+    iters[name] = $2
+    for (i = 3; i < NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        metric[name, unit] = $(i)
+        if (!(unit in units)) {
+            units[unit] = 1
+            uorder[++nu] = unit
+        }
+    }
+    order[++n] = name
+}
+
+END {
+    printf "{\n"
+    printf "  \"pkg\": \"%s\",\n", pkg
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    "nproc" | getline cpus
+    printf "  \"cpus\": %d,\n", cpus
+    printf "  \"benchmarks\": [\n"
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    {\"name\": \"%s\", \"iters\": %s", name, iters[name]
+        for (j = 1; j <= nu; j++) {
+            u = uorder[j]
+            if ((name, u) in metric)
+                printf ", \"%s\": %s", u, metric[name, u]
+        }
+        printf "}%s\n", (i < n ? "," : "")
+    }
+    printf "  ],\n"
+    serial = metric["SweepSerial", "ns_per_op"]
+    par = metric["SweepParallel", "ns_per_op"]
+    warm = metric["SweepWarmCache", "ns_per_op"]
+    if (serial > 0 && par > 0)
+        printf "  \"parallel_speedup_vs_serial\": %.2f,\n", serial / par
+    if (serial > 0 && warm > 0)
+        printf "  \"warm_cache_speedup_vs_serial\": %.1f,\n", serial / warm
+    printf "  \"note\": \"64-trial analytic grid; parallel speedup tracks the recording machine's core count (cpus above), warm-cache speedup is the content-addressed cache fast path with zero solver calls\"\n"
+    printf "}\n"
+}
