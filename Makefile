@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-sweep
+.PHONY: build vet test race ci bench bench-sweep bench-kernel bench-compare
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,10 @@ race:
 	$(GO) test -race ./...
 
 # ci is the gate: clean build, vet, and the full suite under the race
-# detector (the sweep harness is the concurrency-heavy subsystem).
+# detector. ./... covers every package, including the kernel-heavy ones
+# (internal/matrix, internal/qbd, internal/core) whose property tests pin
+# the in-place and SSE2 kernels bitwise to their allocating counterparts,
+# and internal/sweep, the concurrency-heavy subsystem.
 ci: build vet race
 
 bench:
@@ -28,3 +31,25 @@ bench-sweep:
 	awk -f scripts/benchjson.awk bench_sweep.out > BENCH_sweep.json
 	rm -f bench_sweep.out
 	cat BENCH_sweep.json
+
+# bench-kernel regenerates the committed matrix/QBD kernel baseline
+# (BENCH_kernel.json): the live R-matrix solve at three block orders, the
+# vendored pre-change kernel on the same inputs, the intervisit
+# convolution, and the full Theorem 4.3 fixed point.
+BENCH_KERNEL_RE = 'BenchmarkRMatrix$$|BenchmarkRMatrixPre$$|BenchmarkConvolveAll$$|BenchmarkSolveFixedPoint$$'
+bench-kernel:
+	$(GO) test -run '^$$' -bench $(BENCH_KERNEL_RE) -benchmem -benchtime 1s -count 1 \
+		./internal/qbd ./internal/phase ./internal/core | tee bench_kernel.out
+	awk -f scripts/benchjson.awk bench_kernel.out > BENCH_kernel.json
+	rm -f bench_kernel.out
+	cat BENCH_kernel.json
+
+# bench-compare runs the kernel benchmarks fresh and diffs them against
+# the committed BENCH_kernel.json so regressions stand out line by line
+# (timings wobble; watch ns_per_op magnitudes and the ratio fields).
+bench-compare:
+	$(GO) test -run '^$$' -bench $(BENCH_KERNEL_RE) -benchmem -benchtime 1s -count 1 \
+		./internal/qbd ./internal/phase ./internal/core \
+		| awk -f scripts/benchjson.awk > bench_kernel_fresh.json
+	-diff -u BENCH_kernel.json bench_kernel_fresh.json && echo "bench-compare: no drift"
+	rm -f bench_kernel_fresh.json

@@ -173,6 +173,7 @@ func buildBatchedChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, er
 	if err := proc.Validate(1e-8); err != nil {
 		return nil, fmt.Errorf("core: built batched process invalid: %w", err)
 	}
+	proc.CertifySparse(0)
 	return &ClassChain{Proc: proc, space: sp, layout: ly}, nil
 }
 

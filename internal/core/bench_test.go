@@ -1,0 +1,49 @@
+package core_test
+
+// End-to-end solver benchmark: the full Theorem 4.3 fixed point on a
+// two-class machine — the per-trial unit of work every sweep executes.
+// Committed numbers live in BENCH_kernel.json (`make bench-kernel`).
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/phase"
+)
+
+func benchModel() *core.Model {
+	return &core.Model{
+		Processors: 4,
+		Classes: []core.ClassParams{
+			{
+				Partition: 2,
+				Arrival:   phase.Exponential(0.5),
+				Service:   phase.Exponential(1),
+				Quantum:   phase.Exponential(1),
+				Overhead:  phase.Exponential(100),
+			},
+			{
+				Partition: 4,
+				Arrival:   phase.Exponential(0.25),
+				Service:   phase.Exponential(1),
+				Quantum:   phase.Exponential(1),
+				Overhead:  phase.Exponential(100),
+			},
+		},
+	}
+}
+
+func BenchmarkSolveFixedPoint(b *testing.B) {
+	m := benchModel()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Solve(m, core.SolveOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Converged {
+			b.Fatal("fixed point did not converge")
+		}
+	}
+}

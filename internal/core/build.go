@@ -97,6 +97,10 @@ func BuildClassProcess(m *Model, p int, intervisit *phase.Dist) (*qbd.Process, *
 	if err := proc.Validate(1e-8); err != nil {
 		return nil, nil, fmt.Errorf("core: built process invalid: %w", err)
 	}
+	// The arrival (A0) and service-completion (A2) blocks are structurally
+	// sparse — a handful of entries per row — so certify them for the CSR
+	// product fast path in the solvers.
+	proc.CertifySparse(0)
 	return proc, sp, nil
 }
 

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/markov"
 	"repro/internal/matrix"
 	"repro/internal/phase"
 	"repro/internal/qbd"
@@ -62,12 +61,19 @@ func (e *EffectiveQuantum) ConditionalSCV() float64 {
 // The infinite level space is truncated at the first level whose stationary
 // tail mass drops below tailEps (clamped to [boundary+2, boundary+cap]);
 // arrivals at the truncation level are reflected.
-func ExtractEffectiveQuantum(ch *ClassChain, sol *qbd.Solution, tailEps float64, cap int) (*EffectiveQuantum, error) {
+//
+// ws supplies the scratch for the absorption-moment solve; nil allocates a
+// private workspace. The subgenerator and initial vector escape into the
+// returned Exact distribution and are always freshly allocated.
+func ExtractEffectiveQuantum(ch *ClassChain, sol *qbd.Solution, tailEps float64, cap int, ws *matrix.Workspace) (*EffectiveQuantum, error) {
 	if tailEps <= 0 {
 		tailEps = 1e-10
 	}
 	if cap <= 0 {
 		cap = 400
+	}
+	if ws == nil {
+		ws = matrix.NewWorkspace()
 	}
 	sp := ch.space
 	b := sp.servers
@@ -161,14 +167,35 @@ func ExtractEffectiveQuantum(ch *ClassChain, sol *qbd.Solution, tailEps float64,
 	matrix.ScaleVec(1/totalW, init)
 	atom := atomW / totalW
 
-	chain, err := markov.NewAbsorbingChain(t)
-	if err != nil {
-		return nil, fmt.Errorf("core: effective-quantum chain: %w", err)
+	// Absorption moments E[τⁱ] = i!·ξ·(−T)⁻ⁱ·e, the same computation as
+	// markov.AbsorbingChain but with the negated subgenerator, its LU and
+	// the solve vectors drawn from the workspace — this factorization is
+	// the largest allocation of the fixed-point iteration.
+	neg := matrix.ScaledTo(ws.Get(nt, nt), -1, t)
+	lu := ws.GetLU(nt)
+	luErr := lu.Reset(neg)
+	ws.Put(neg)
+	if luErr != nil {
+		ws.PutLU(lu)
+		return nil, fmt.Errorf("core: effective-quantum chain: transient states cannot all reach absorption: %w", luErr)
 	}
-	ms := chain.AbsorptionMoments(init, 3)
+	x, y := ws.GetVec(nt), ws.GetVec(nt)
+	for i := range x {
+		x[i] = 1
+	}
+	var ms [3]float64
+	fact := 1.0
+	for i := 1; i <= len(ms); i++ {
+		lu.SolveVecTo(y, x)
+		x, y = y, x
+		fact *= float64(i)
+		ms[i-1] = fact * matrix.Dot(init, x)
+	}
+	ws.PutVec(x, y)
+	ws.PutLU(lu)
 
 	eq := &EffectiveQuantum{Atom: atom}
-	copy(eq.Moments[:], ms)
+	copy(eq.Moments[:], ms[:])
 	eq.Exact = &phase.Dist{Alpha: init, S: t}
 	return eq, nil
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/matrix"
 	"repro/internal/phase"
 	"repro/internal/qbd"
 )
@@ -159,6 +160,13 @@ func solve(m *Model, opts SolveOptions) (*Result, error) {
 	solveCalls.Add(1)
 	if err := m.Validate(); err != nil {
 		return nil, err
+	}
+	// One workspace per solve, shared by every QBD solve and
+	// effective-quantum extraction of the fixed-point iteration. Solves are
+	// single-goroutine, so the unsynchronized arena is safe; concurrent
+	// sweep trials each run their own solve and thus their own workspace.
+	if opts.RMatrix.Workspace == nil {
+		opts.RMatrix.Workspace = matrix.NewWorkspace()
 	}
 	l := m.NumClasses()
 	quanta := nominalQuanta(m) // effective-quantum stand-ins, heavy-traffic init
@@ -326,7 +334,7 @@ func solveClass(m *Model, p int, f *phase.Dist, opts SolveOptions) (*ClassResult
 		return nil, err
 	}
 	cr.T = cr.N / m.ArrivalRate(p)
-	cr.Effective, err = ExtractEffectiveQuantum(ch, sol, opts.TailEps, opts.TruncationCap)
+	cr.Effective, err = ExtractEffectiveQuantum(ch, sol, opts.TailEps, opts.TruncationCap, opts.RMatrix.Workspace)
 	if err != nil {
 		return nil, err
 	}

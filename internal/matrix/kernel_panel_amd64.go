@@ -1,0 +1,20 @@
+//go:build amd64
+
+package matrix
+
+// axpyPanel8SSE2 is the SSE2 inner loop of the dense multiply panel:
+// ci[j] = ci[j] + a[0]·b[j] + a[1]·b[ldb+j] + … + a[7]·b[7·ldb+j] for
+// j in [0, n), with the adds associated left exactly like the pure-Go
+// panel (two IEEE lanes per step, so every element sees the identical
+// rounded-operation sequence — the asm changes throughput, never bits).
+//
+//go:noescape
+func axpyPanel8SSE2(ci *float64, b *float64, ldb, n int, a *[8]float64)
+
+// axpyPanel8 accumulates the 8-row coefficient panel into ci.
+func axpyPanel8(ci, b []float64, ldb int, a *[8]float64) {
+	if len(ci) == 0 {
+		return
+	}
+	axpyPanel8SSE2(&ci[0], &b[0], ldb, len(ci), a)
+}

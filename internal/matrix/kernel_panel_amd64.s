@@ -1,0 +1,172 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func axpyPanel8SSE2(ci *float64, b *float64, ldb, n int, a *[8]float64)
+//
+// ci[j] += a0·b0[j] + a1·b1[j] + … + a7·b7[j], j = 0..n-1, where row t is
+// b + t·ldb. The adds chain left-to-right through one accumulator per
+// element, matching the pure-Go panel loop bit for bit. Elements are
+// processed four per iteration (two independent two-lane accumulators),
+// then a two-lane pair and a scalar tail.
+TEXT ·axpyPanel8SSE2(SB), NOSPLIT, $0-40
+	// Broadcast the eight coefficients into X0..X7.
+	MOVQ a+32(FP), AX
+	MOVSD 0(AX), X0
+	UNPCKLPD X0, X0
+	MOVSD 8(AX), X1
+	UNPCKLPD X1, X1
+	MOVSD 16(AX), X2
+	UNPCKLPD X2, X2
+	MOVSD 24(AX), X3
+	UNPCKLPD X3, X3
+	MOVSD 32(AX), X4
+	UNPCKLPD X4, X4
+	MOVSD 40(AX), X5
+	UNPCKLPD X5, X5
+	MOVSD 48(AX), X6
+	UNPCKLPD X6, X6
+	MOVSD 56(AX), X7
+	UNPCKLPD X7, X7
+
+	MOVQ ci+0(FP), DI
+	MOVQ b+8(FP), SI
+	MOVQ ldb+16(FP), DX
+	SHLQ $3, DX            // row stride in bytes
+	LEAQ (SI)(DX*1), R8    // row 1
+	LEAQ (R8)(DX*1), R9    // row 2
+	LEAQ (R9)(DX*1), R10   // row 3
+	LEAQ (R10)(DX*1), R11  // row 4
+	LEAQ (R11)(DX*1), R12  // row 5
+	LEAQ (R12)(DX*1), R13  // row 6
+	LEAQ (R13)(DX*1), AX   // row 7 (AX free after broadcasts)
+
+	MOVQ n+24(FP), CX
+	XORQ BX, BX            // byte offset
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	SHLQ $3, DX            // end offset of the 4-element loop
+	CMPQ BX, DX
+	JGE  paircheck
+
+quad:
+	// Two independent accumulators (X8: j, j+1; X10: j+2, j+3).
+	MOVUPD (DI)(BX*1), X8
+	MOVUPD 16(DI)(BX*1), X10
+	MOVUPD (SI)(BX*1), X9
+	MOVUPD 16(SI)(BX*1), X11
+	MULPD X0, X9
+	MULPD X0, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (R8)(BX*1), X9
+	MOVUPD 16(R8)(BX*1), X11
+	MULPD X1, X9
+	MULPD X1, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (R9)(BX*1), X9
+	MOVUPD 16(R9)(BX*1), X11
+	MULPD X2, X9
+	MULPD X2, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (R10)(BX*1), X9
+	MOVUPD 16(R10)(BX*1), X11
+	MULPD X3, X9
+	MULPD X3, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (R11)(BX*1), X9
+	MOVUPD 16(R11)(BX*1), X11
+	MULPD X4, X9
+	MULPD X4, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (R12)(BX*1), X9
+	MOVUPD 16(R12)(BX*1), X11
+	MULPD X5, X9
+	MULPD X5, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (R13)(BX*1), X9
+	MOVUPD 16(R13)(BX*1), X11
+	MULPD X6, X9
+	MULPD X6, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD (AX)(BX*1), X9
+	MOVUPD 16(AX)(BX*1), X11
+	MULPD X7, X9
+	MULPD X7, X11
+	ADDPD X9, X8
+	ADDPD X11, X10
+	MOVUPD X8, (DI)(BX*1)
+	MOVUPD X10, 16(DI)(BX*1)
+	ADDQ $32, BX
+	CMPQ BX, DX
+	JL   quad
+
+paircheck:
+	TESTQ $2, CX
+	JZ   scalarcheck
+	MOVUPD (DI)(BX*1), X8
+	MOVUPD (SI)(BX*1), X9
+	MULPD X0, X9
+	ADDPD X9, X8
+	MOVUPD (R8)(BX*1), X9
+	MULPD X1, X9
+	ADDPD X9, X8
+	MOVUPD (R9)(BX*1), X9
+	MULPD X2, X9
+	ADDPD X9, X8
+	MOVUPD (R10)(BX*1), X9
+	MULPD X3, X9
+	ADDPD X9, X8
+	MOVUPD (R11)(BX*1), X9
+	MULPD X4, X9
+	ADDPD X9, X8
+	MOVUPD (R12)(BX*1), X9
+	MULPD X5, X9
+	ADDPD X9, X8
+	MOVUPD (R13)(BX*1), X9
+	MULPD X6, X9
+	ADDPD X9, X8
+	MOVUPD (AX)(BX*1), X9
+	MULPD X7, X9
+	ADDPD X9, X8
+	MOVUPD X8, (DI)(BX*1)
+	ADDQ $16, BX
+
+scalarcheck:
+	TESTQ $1, CX
+	JZ   done
+	MOVSD (DI)(BX*1), X8
+	MOVSD (SI)(BX*1), X9
+	MULSD X0, X9
+	ADDSD X9, X8
+	MOVSD (R8)(BX*1), X9
+	MULSD X1, X9
+	ADDSD X9, X8
+	MOVSD (R9)(BX*1), X9
+	MULSD X2, X9
+	ADDSD X9, X8
+	MOVSD (R10)(BX*1), X9
+	MULSD X3, X9
+	ADDSD X9, X8
+	MOVSD (R11)(BX*1), X9
+	MULSD X4, X9
+	ADDSD X9, X8
+	MOVSD (R12)(BX*1), X9
+	MULSD X5, X9
+	ADDSD X9, X8
+	MOVSD (R13)(BX*1), X9
+	MULSD X6, X9
+	ADDSD X9, X8
+	MOVSD (AX)(BX*1), X9
+	MULSD X7, X9
+	ADDSD X9, X8
+	MOVSD X8, (DI)(BX*1)
+
+done:
+	RET

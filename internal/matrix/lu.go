@@ -12,19 +12,58 @@ var ErrSingular = errors.New("matrix: singular matrix")
 
 // LU holds an LU factorization with partial pivoting: P·A = L·U, where L is
 // unit lower triangular and U upper triangular, packed into a single matrix.
+//
+// An LU is reusable: Reset refactorizes a new same-order matrix into the
+// existing pivot and packed-factor buffers, and the *To solvers write into
+// caller storage, so repeated solves in a hot loop perform no allocation
+// after the first. The factorization and solves run the exact same
+// floating-point operation sequence as the one-shot Factorize/SolveVec
+// path, so reuse never perturbs results.
 type LU struct {
-	lu   *Dense
-	piv  []int // row i of the factorization came from row piv[i] of A
-	sign int
+	lu      *Dense
+	piv     []int // row i of the factorization came from row piv[i] of A
+	sign    int
+	scratch []float64 // 2n: column buffer + solution buffer for InverseTo
+	quad    []float64 // 4n: interleaved 4-column buffer for InverseTo
 }
+
+// NewLU returns an order-n LU shell with no factorization; call Reset to
+// factorize into it.
+func NewLU(n int) *LU {
+	return &LU{lu: New(n, n), piv: make([]int, n), sign: 1}
+}
+
+// Order returns the order of the factorized system.
+func (f *LU) Order() int { return f.lu.rows }
 
 // Factorize computes the LU factorization of the square matrix a.
 func Factorize(a *Dense) (*LU, error) {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("matrix: Factorize of non-square %dx%d", a.rows, a.cols))
 	}
+	f := NewLU(a.rows)
+	if err := f.Reset(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Reset refactorizes f for the square matrix a, reusing the existing
+// buffers when the order matches (and reallocating them otherwise). On a
+// singular input f holds no valid factorization but remains reusable.
+func (f *LU) Reset(a *Dense) error {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("matrix: LU.Reset of non-square %dx%d", a.rows, a.cols))
+	}
 	n := a.rows
-	f := &LU{lu: a.Clone(), piv: make([]int, n), sign: 1}
+	if f.lu == nil || f.lu.rows != n {
+		f.lu = New(n, n)
+		f.piv = make([]int, n)
+		f.scratch = nil
+		f.quad = nil
+	}
+	f.lu.CopyFrom(a)
+	f.sign = 1
 	for i := range f.piv {
 		f.piv[i] = i
 	}
@@ -38,7 +77,7 @@ func Factorize(a *Dense) (*LU, error) {
 			}
 		}
 		if mx == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			for j := 0; j < n; j++ {
@@ -48,44 +87,59 @@ func Factorize(a *Dense) (*LU, error) {
 			f.sign = -f.sign
 		}
 		pivot := lu[k*n+k]
+		rowk := lu[k*n+k+1 : (k+1)*n]
 		for i := k + 1; i < n; i++ {
 			m := lu[i*n+k] / pivot
 			lu[i*n+k] = m
 			if m == 0 {
 				continue
 			}
-			for j := k + 1; j < n; j++ {
-				lu[i*n+j] -= m * lu[k*n+j]
+			rowi := lu[i*n+k+1 : (i+1)*n][:len(rowk)]
+			for j := range rowi {
+				rowi[j] -= m * rowk[j]
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // SolveVec solves A·x = b for x.
 func (f *LU) SolveVec(b []float64) []float64 {
+	return f.SolveVecTo(make([]float64, f.lu.rows), b)
+}
+
+// SolveVecTo solves A·x = b into dst, which must not alias b.
+func (f *LU) SolveVecTo(dst, b []float64) []float64 {
 	n := f.lu.rows
 	if len(b) != n {
-		panic(fmt.Sprintf("matrix: SolveVec length mismatch %d vs %d", len(b), n))
+		panic(fmt.Sprintf("matrix: SolveVecTo length mismatch %d vs %d", len(b), n))
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("matrix: SolveVecTo into %d, want %d", len(dst), n))
+	}
+	if n > 0 && &dst[0] == &b[0] {
+		panic("matrix: SolveVecTo destination aliases b")
 	}
 	lu := f.lu.data
-	x := make([]float64, n)
+	x := dst
 	for i := 0; i < n; i++ {
 		x[i] = b[f.piv[i]]
 	}
 	// Forward substitution with unit lower triangle.
 	for i := 1; i < n; i++ {
+		row := lu[i*n : i*n+i]
 		var s float64
-		for j := 0; j < i; j++ {
-			s += lu[i*n+j] * x[j]
+		for j, v := range row {
+			s += v * x[j]
 		}
 		x[i] -= s
 	}
 	// Back substitution.
 	for i := n - 1; i >= 0; i-- {
+		row := lu[i*n+i+1 : (i+1)*n]
 		var s float64
-		for j := i + 1; j < n; j++ {
-			s += lu[i*n+j] * x[j]
+		for j, v := range row {
+			s += v * x[i+1+j]
 		}
 		x[i] = (x[i] - s) / lu[i*n+i]
 	}
@@ -94,17 +148,123 @@ func (f *LU) SolveVec(b []float64) []float64 {
 
 // Solve solves A·X = B column by column.
 func (f *LU) Solve(b *Dense) *Dense {
-	if b.rows != f.lu.rows {
-		panic(fmt.Sprintf("matrix: Solve row mismatch %d vs %d", b.rows, f.lu.rows))
+	return f.SolveTo(New(b.rows, b.cols), b)
+}
+
+// SolveTo solves A·X = B into dst (same shape as b, not aliasing it),
+// column by column like Solve but reusing f's internal column scratch.
+func (f *LU) SolveTo(dst, b *Dense) *Dense {
+	n := f.lu.rows
+	if b.rows != n {
+		panic(fmt.Sprintf("matrix: SolveTo row mismatch %d vs %d", b.rows, n))
 	}
-	x := New(b.rows, b.cols)
+	sameShape(dst, b)
+	noAlias(dst, b, "SolveTo")
+	col, x := f.colScratch()
 	for j := 0; j < b.cols; j++ {
-		col := f.SolveVec(b.Col(j))
-		for i, v := range col {
-			x.data[i*x.cols+j] = v
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		f.SolveVecTo(x, col)
+		for i, v := range x {
+			dst.data[i*dst.cols+j] = v
 		}
 	}
-	return x
+	return dst
+}
+
+// InverseTo writes A⁻¹ into dst, solving against unit columns with the
+// same operation sequence as Inverse.
+//
+// Unit columns are solved four at a time with their substitution
+// recurrences interleaved: the four accumulator chains are independent, so
+// the CPU pipelines them instead of stalling on one serial chain, and each
+// row of the packed factors is read once per four columns. Per column the
+// rounded operations are exactly those of SolveVecTo on its unit vector
+// (the skipped leading terms are exact ±0 contributions to a +0
+// accumulator), so the result is bitwise identical to the one-column loop.
+func (f *LU) InverseTo(dst *Dense) *Dense {
+	n := f.lu.rows
+	if dst.rows != n || dst.cols != n {
+		panic(fmt.Sprintf("matrix: InverseTo into %dx%d, want %dx%d", dst.rows, dst.cols, n, n))
+	}
+	lu := f.lu.data
+	if len(f.quad) != 4*n {
+		f.quad = make([]float64, 4*n)
+	}
+	xq := f.quad
+	j := 0
+	for ; j+3 < n; j += 4 {
+		// Permuted unit vectors: column j+c is non-zero at the row i with
+		// piv[i] = j+c. Rows before the first non-zero stay exactly zero
+		// through forward substitution, so start there.
+		clear(xq)
+		start := n
+		for i, p := range f.piv {
+			if p >= j && p < j+4 {
+				xq[i*4+(p-j)] = 1
+				if i < start {
+					start = i
+				}
+			}
+		}
+		for i := start + 1; i < n; i++ {
+			row := lu[i*n : i*n+i]
+			var s0, s1, s2, s3 float64
+			for k := start; k < i; k++ {
+				v := row[k]
+				c := xq[k*4 : k*4+4 : k*4+4]
+				s0 += v * c[0]
+				s1 += v * c[1]
+				s2 += v * c[2]
+				s3 += v * c[3]
+			}
+			xq[i*4] -= s0
+			xq[i*4+1] -= s1
+			xq[i*4+2] -= s2
+			xq[i*4+3] -= s3
+		}
+		for i := n - 1; i >= 0; i-- {
+			row := lu[i*n+i+1 : (i+1)*n]
+			var s0, s1, s2, s3 float64
+			for k, v := range row {
+				c := xq[(i+1+k)*4 : (i+1+k)*4+4 : (i+1+k)*4+4]
+				s0 += v * c[0]
+				s1 += v * c[1]
+				s2 += v * c[2]
+				s3 += v * c[3]
+			}
+			d := lu[i*n+i]
+			xq[i*4] = (xq[i*4] - s0) / d
+			xq[i*4+1] = (xq[i*4+1] - s1) / d
+			xq[i*4+2] = (xq[i*4+2] - s2) / d
+			xq[i*4+3] = (xq[i*4+3] - s3) / d
+		}
+		for i := 0; i < n; i++ {
+			copy(dst.data[i*dst.cols+j:i*dst.cols+j+4], xq[i*4:i*4+4])
+		}
+	}
+	if j < n {
+		col, x := f.colScratch()
+		clear(col)
+		for ; j < n; j++ {
+			col[j] = 1
+			f.SolveVecTo(x, col)
+			col[j] = 0
+			for i, v := range x {
+				dst.data[i*dst.cols+j] = v
+			}
+		}
+	}
+	return dst
+}
+
+func (f *LU) colScratch() (col, x []float64) {
+	n := f.lu.rows
+	if len(f.scratch) != 2*n {
+		f.scratch = make([]float64, 2*n)
+	}
+	return f.scratch[:n], f.scratch[n:]
 }
 
 // SolveTransposed solves Aᵀ·x = b using the factorization of A.
@@ -171,7 +331,11 @@ func SolveVec(a *Dense, b []float64) ([]float64, error) {
 
 // Inverse returns A⁻¹.
 func Inverse(a *Dense) (*Dense, error) {
-	return Solve(a, Identity(a.rows))
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.InverseTo(New(a.rows, a.rows)), nil
 }
 
 // SolveTransposedVec solves xᵀ·A = bᵀ, i.e. Aᵀ·x = b, without forming Aᵀ

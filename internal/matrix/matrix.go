@@ -173,20 +173,7 @@ func Mul(a, b *Dense) *Dense {
 		panic(fmt.Sprintf("matrix: Mul dimension mismatch %dx%d · %dx%d", a.rows, a.cols, b.rows, b.cols))
 	}
 	c := New(a.rows, b.cols)
-	// ikj loop order keeps the inner loop streaming over contiguous rows of b.
-	for i := 0; i < a.rows; i++ {
-		ci := c.data[i*c.cols : (i+1)*c.cols]
-		for k := 0; k < a.cols; k++ {
-			aik := a.data[i*a.cols+k]
-			if aik == 0 {
-				continue
-			}
-			bk := b.data[k*b.cols : (k+1)*b.cols]
-			for j, bv := range bk {
-				ci[j] += aik * bv
-			}
-		}
-	}
+	mulKernel(c, a, b)
 	return c
 }
 

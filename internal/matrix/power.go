@@ -67,25 +67,36 @@ func GeometricTailSum(r *Dense) (*Dense, error) {
 // bound is tight to near machine precision, and unlike power iteration it
 // cannot stall on clustered or complex eigenvalues.
 func SpectralRadiusUpperBound(a *Dense, squarings int) float64 {
+	return SpectralRadiusUpperBoundWS(a, squarings, NewWorkspace())
+}
+
+// SpectralRadiusUpperBoundWS is SpectralRadiusUpperBound with all scratch
+// drawn from ws, so repeated bounds in a solver loop allocate nothing.
+func SpectralRadiusUpperBoundWS(a *Dense, squarings int, ws *Workspace) float64 {
 	if a.rows != a.cols {
 		panic("matrix: SpectralRadiusUpperBound of non-square matrix")
 	}
 	if a.rows == 0 {
 		return 0
 	}
-	m := a.Clone()
+	n := a.rows
+	m := ws.Get(n, n).CopyFrom(a)
+	sq := ws.Get(n, n)
 	logBound := 0.0
 	weight := 1.0
 	for k := 0; k < squarings; k++ {
 		norm := m.InfNorm()
 		if norm == 0 {
+			ws.Put(m, sq)
 			return 0
 		}
 		logBound += weight * math.Log(norm)
 		weight /= 2
-		m = Scaled(1/norm, m)
-		m = Mul(m, m)
+		ScaledTo(m, 1/norm, m)
+		MulTo(sq, m, m)
+		m, sq = sq, m
 	}
 	logBound += weight * math.Log(math.Max(m.InfNorm(), 1e-300))
+	ws.Put(m, sq)
 	return math.Exp(logBound)
 }

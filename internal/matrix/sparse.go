@@ -144,3 +144,137 @@ func (s *Sparse) RowRange(i int, fn func(j int, v float64)) {
 		fn(s.colIdx[p], s.val[p])
 	}
 }
+
+// FromDense builds a CSR copy of d storing exactly its non-zero entries,
+// in row-major order. Because the dense Mul kernel skips zero left-hand
+// coefficients, a product through the CSR form touches the same terms in
+// the same order as the dense product — the sparse kernels below are
+// bitwise-identical to their dense counterparts, not just close.
+func FromDense(d *Dense) *Sparse {
+	s := &Sparse{rows: d.rows, cols: d.cols, rowPtr: make([]int, d.rows+1)}
+	nnz := 0
+	for _, v := range d.data {
+		if v != 0 {
+			nnz++
+		}
+	}
+	s.colIdx = make([]int, 0, nnz)
+	s.val = make([]float64, 0, nnz)
+	for i := 0; i < d.rows; i++ {
+		row := d.data[i*d.cols : (i+1)*d.cols]
+		for j, v := range row {
+			if v != 0 {
+				s.colIdx = append(s.colIdx, j)
+				s.val = append(s.val, v)
+			}
+		}
+		s.rowPtr[i+1] = len(s.val)
+	}
+	return s
+}
+
+// ToDense materializes the matrix.
+func (s *Sparse) ToDense() *Dense {
+	d := New(s.rows, s.cols)
+	for i := 0; i < s.rows; i++ {
+		row := d.data[i*s.cols : (i+1)*s.cols]
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			row[s.colIdx[p]] = s.val[p]
+		}
+	}
+	return d
+}
+
+// Density returns nnz/(rows·cols), 0 for an empty matrix.
+func (s *Sparse) Density() float64 {
+	if s.rows == 0 || s.cols == 0 {
+		return 0
+	}
+	return float64(len(s.val)) / (float64(s.rows) * float64(s.cols))
+}
+
+// Scaled returns c·S. Entries whose scaled value is exactly zero (e.g. by
+// underflow) are dropped, keeping the stored pattern equal to the non-zero
+// pattern of the equivalent dense ScaledTo result.
+func (s *Sparse) Scaled(c float64) *Sparse {
+	out := &Sparse{rows: s.rows, cols: s.cols, rowPtr: make([]int, s.rows+1)}
+	out.colIdx = make([]int, 0, len(s.val))
+	out.val = make([]float64, 0, len(s.val))
+	for i := 0; i < s.rows; i++ {
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			if v := c * s.val[p]; v != 0 {
+				out.colIdx = append(out.colIdx, s.colIdx[p])
+				out.val = append(out.val, v)
+			}
+		}
+		out.rowPtr[i+1] = len(out.val)
+	}
+	return out
+}
+
+// MulDenseTo computes C = S·B (CSR × dense) into dst, which must be
+// s.rows×b.cols and must not alias b. For each destination element the
+// stored-entry products accumulate in ascending k — exactly the terms and
+// order of MulTo(dst, s.ToDense(), b), which skips the same zero
+// coefficients, so the result is bitwise identical to the dense product.
+func (s *Sparse) MulDenseTo(dst, b *Dense) *Dense {
+	if s.cols != b.rows {
+		panic(fmt.Sprintf("matrix: MulDenseTo dimension mismatch %dx%d · %dx%d", s.rows, s.cols, b.rows, b.cols))
+	}
+	if dst.rows != s.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("matrix: MulDenseTo into %dx%d, want %dx%d", dst.rows, dst.cols, s.rows, b.cols))
+	}
+	noAlias(dst, b, "MulDenseTo")
+	dst.Zero()
+	bc := b.cols
+	for i := 0; i < s.rows; i++ {
+		ci := dst.data[i*bc : (i+1)*bc]
+		for p := s.rowPtr[i]; p < s.rowPtr[i+1]; p++ {
+			axpyRow(ci, s.val[p], b.data[s.colIdx[p]*bc:(s.colIdx[p]+1)*bc])
+		}
+	}
+	return dst
+}
+
+// MulDense returns S·B.
+func (s *Sparse) MulDense(b *Dense) *Dense {
+	return s.MulDenseTo(New(s.rows, b.cols), b)
+}
+
+// MulCSRTo computes C = A·S (dense × CSR) into dst, which must be
+// a.rows×s.cols and must not alias a. Per destination row, terms
+// accumulate in ascending k with a's zero coefficients skipped; the
+// stored entries of S are the non-zero entries of the equivalent dense
+// right operand, and on the finite, non-negative inputs the QBD path
+// feeds it the omitted zero terms cannot perturb any accumulated sum, so
+// the result is bitwise identical to the dense product (the sparse
+// property tests pin this at 0 ULP).
+func MulCSRTo(dst, a *Dense, s *Sparse) *Dense {
+	if a.cols != s.rows {
+		panic(fmt.Sprintf("matrix: MulCSRTo dimension mismatch %dx%d · %dx%d", a.rows, a.cols, s.rows, s.cols))
+	}
+	if dst.rows != a.rows || dst.cols != s.cols {
+		panic(fmt.Sprintf("matrix: MulCSRTo into %dx%d, want %dx%d", dst.rows, dst.cols, a.rows, s.cols))
+	}
+	noAlias(dst, a, "MulCSRTo")
+	dst.Zero()
+	sc := s.cols
+	for i := 0; i < a.rows; i++ {
+		ci := dst.data[i*sc : (i+1)*sc]
+		ai := a.data[i*a.cols : (i+1)*a.cols]
+		for k, aik := range ai {
+			if aik == 0 {
+				continue
+			}
+			for p := s.rowPtr[k]; p < s.rowPtr[k+1]; p++ {
+				ci[s.colIdx[p]] += aik * s.val[p]
+			}
+		}
+	}
+	return dst
+}
+
+// MulCSR returns A·S.
+func MulCSR(a *Dense, s *Sparse) *Dense {
+	return MulCSRTo(New(a.rows, s.cols), a, s)
+}

@@ -1,0 +1,40 @@
+package phase_test
+
+// Convolution benchmarks: ConvolveAll is the intervisit constructor (paper
+// Theorem 4.1), called once per class per fixed-point iteration, and its
+// result's order is the block order every downstream QBD kernel chews on.
+// Committed numbers live in BENCH_kernel.json (`make bench-kernel`).
+
+import (
+	"testing"
+
+	"repro/internal/phase"
+)
+
+// intervisitParts mimics the Theorem 4.1 construction for l classes:
+// own overhead, then each other class's quantum and overhead.
+func intervisitParts(l int) []*phase.Dist {
+	overhead := phase.Erlang(2, 100) // small, low-variability switch cost
+	quantum := phase.Erlang(4, 4)    // near-deterministic quantum
+	parts := []*phase.Dist{overhead}
+	for q := 1; q < l; q++ {
+		parts = append(parts, quantum, overhead)
+	}
+	return parts
+}
+
+func BenchmarkConvolveAll(b *testing.B) {
+	for _, l := range []int{2, 4, 8} {
+		b.Run(map[int]string{2: "L2", 4: "L4", 8: "L8"}[l], func(b *testing.B) {
+			parts := intervisitParts(l)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := phase.ConvolveAll(parts...)
+				if d.Order() == 0 {
+					b.Fatal("empty convolution")
+				}
+			}
+		})
+	}
+}

@@ -206,14 +206,53 @@ func Convolve(f, g *Dist) *Dist {
 	return &Dist{Alpha: alpha, S: t}
 }
 
-// ConvolveAll folds Convolve over a non-empty sequence.
-func ConvolveAll(ds ...*Dist) *Dist {
+// DefaultConvolveOrderLimit bounds the order of the PH distribution
+// ConvolveAll is willing to build. Convolution order is additive
+// (Theorem 2.5: order(F*G) = order(F)+order(G)), and the QBD block order —
+// and with it solver cost, which is cubic per iteration — grows with it,
+// so an over-long intervisit chain silently turns one solve into minutes.
+// The default admits any model the sweeps exercise while rejecting
+// runaway chains; callers with a deliberate large model can pass their
+// own cap to ConvolveAllLimited.
+const DefaultConvolveOrderLimit = 4096
+
+// ErrOrderLimit is returned (wrapped, with the offending sizes) when a
+// convolution would exceed the configured order limit.
+var ErrOrderLimit = errors.New("phase: convolution order exceeds limit")
+
+// ConvolveAllLimited folds Convolve over a non-empty sequence, refusing
+// with ErrOrderLimit if the resulting order would exceed limit
+// (limit <= 0 selects DefaultConvolveOrderLimit). Since order is additive
+// the check runs up front, before any matrix is built.
+func ConvolveAllLimited(limit int, ds ...*Dist) (*Dist, error) {
 	if len(ds) == 0 {
 		panic("phase: ConvolveAll of empty sequence")
+	}
+	if limit <= 0 {
+		limit = DefaultConvolveOrderLimit
+	}
+	total := 0
+	for _, d := range ds {
+		total += d.Order()
+	}
+	if total > limit {
+		return nil, fmt.Errorf("%w: convolving %d distributions of total order %d > %d",
+			ErrOrderLimit, len(ds), total, limit)
 	}
 	acc := ds[0].Clone()
 	for _, d := range ds[1:] {
 		acc = Convolve(acc, d)
+	}
+	return acc, nil
+}
+
+// ConvolveAll folds Convolve over a non-empty sequence. It panics if the
+// result would exceed DefaultConvolveOrderLimit; use ConvolveAllLimited
+// to choose the cap or handle the error.
+func ConvolveAll(ds ...*Dist) *Dist {
+	acc, err := ConvolveAllLimited(0, ds...)
+	if err != nil {
+		panic(err)
 	}
 	return acc
 }

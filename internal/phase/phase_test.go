@@ -1,6 +1,7 @@
 package phase
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -159,6 +160,32 @@ func TestConvolveAll(t *testing.T) {
 	if !almostEq(c.Mean(), 1+0.5+0.25, 1e-10) {
 		t.Fatalf("mean = %g, want 1.75", c.Mean())
 	}
+}
+
+func TestConvolveAllOrderLimit(t *testing.T) {
+	ds := []*Dist{Erlang(3, 1), Erlang(4, 1), Exponential(1)} // total order 8
+	if _, err := ConvolveAllLimited(8, ds...); err != nil {
+		t.Fatalf("order 8 at limit 8 rejected: %v", err)
+	}
+	_, err := ConvolveAllLimited(7, ds...)
+	if !errors.Is(err, ErrOrderLimit) {
+		t.Fatalf("order 8 at limit 7: err = %v, want ErrOrderLimit", err)
+	}
+	// The check runs before any matrix is built, so a would-be-enormous
+	// chain fails fast instead of allocating its QBD blocks.
+	huge := make([]*Dist, 0, DefaultConvolveOrderLimit+1)
+	for i := 0; i <= DefaultConvolveOrderLimit; i++ {
+		huge = append(huge, Exponential(1))
+	}
+	if _, err := ConvolveAllLimited(0, huge...); !errors.Is(err, ErrOrderLimit) {
+		t.Fatalf("default limit not enforced: err = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("ConvolveAll past the default cap did not panic")
+		}
+	}()
+	ConvolveAll(huge...)
 }
 
 func TestRescaleWithMean(t *testing.T) {

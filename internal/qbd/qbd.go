@@ -38,6 +38,36 @@ type Process struct {
 	Down  []*matrix.Dense // indexed 1..b; Down[0] is unused and may be nil
 
 	A0, A1, A2 *matrix.Dense
+
+	// SparseA0/SparseA2 are optional CSR forms of A0/A2, set by
+	// CertifySparse when those blocks are sparse enough for the CSR product
+	// kernels to win. The solvers use them when present; results are
+	// bitwise identical either way, so these are purely a fast path.
+	SparseA0, SparseA2 *matrix.Sparse
+}
+
+// SparseCertifyMaxDensity is the nnz fraction at or below which
+// CertifySparse adopts a CSR fast path for a repeating block. The arrival
+// (A0) and service-completion (A2) blocks of the gang model are typically
+// diagonal-ish — a few entries per row — while above ~¼ density the CSR
+// product's indirect column writes cost more than the dense kernel saves.
+const SparseCertifyMaxDensity = 0.25
+
+// CertifySparse inspects A0 and A2 and records CSR forms for those with
+// density at or below maxDensity (non-positive means
+// SparseCertifyMaxDensity). Builders call this once after assembling a
+// process; it is idempotent and never changes solver results.
+func (p *Process) CertifySparse(maxDensity float64) {
+	if maxDensity <= 0 {
+		maxDensity = SparseCertifyMaxDensity
+	}
+	p.SparseA0, p.SparseA2 = nil, nil
+	if s := matrix.FromDense(p.A0); s.Density() <= maxDensity {
+		p.SparseA0 = s
+	}
+	if s := matrix.FromDense(p.A2); s.Density() <= maxDensity {
+		p.SparseA2 = s
+	}
 }
 
 // Boundary returns b, the number of boundary levels.

@@ -116,12 +116,15 @@ func TestRMatrixMM1(t *testing.T) {
 
 func TestRMatrixSuccessiveSubstitutionAgrees(t *testing.T) {
 	p := mErlang2_1(0.7, 1)
-	d0, d1, d2 := uniformizeBlocks(p.A0, p.A1, p.A2)
-	rLR, err := logarithmicReduction(d0, d1, d2, RMatrixOptions{}.withDefaults())
+	ws := matrix.NewWorkspace()
+	n := p.A1.Rows()
+	id := ws.Get(n, n).SetIdentity()
+	d0, d1, d2, _, _ := uniformizeBlocks(ws, p.A0, p.A1, p.A2, nil, nil)
+	rLR, err := logarithmicReductionR(id, d0, d1, d2, nil, nil, ws, RMatrixOptions{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rSS, err := successiveSubstitution(d0, d1, d2, RMatrixOptions{}.withDefaults())
+	rSS, err := successiveSubstitution(id, d0, d1, d2, nil, ws, RMatrixOptions{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

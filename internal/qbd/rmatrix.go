@@ -13,9 +13,25 @@ import (
 var ErrUnstable = errors.New("qbd: process is not positive recurrent")
 
 // RMatrixOptions tune the R-matrix computation.
+//
+// Workspace and the sparse blocks are pure fast-path options: every solver
+// below runs the exact same sequence of rounded floating-point operations
+// with or without them, so enabling reuse or sparsity never changes a
+// result bit.
 type RMatrixOptions struct {
 	Tol     float64 // sup-norm stopping tolerance (default 1e-12)
 	MaxIter int     // iteration budget (default 10000)
+
+	// Workspace, when non-nil, supplies the scratch matrices and LU
+	// factorizations of the iteration. Passing one amortizes all interior
+	// allocation across repeated solves (the fixed-point loop in
+	// internal/core reuses one workspace for its whole run).
+	Workspace *matrix.Workspace
+
+	// SparseA0/SparseA2 are optional CSR forms of the a0/a2 arguments
+	// (typically Process.SparseA0/SparseA2 from CertifySparse). When set,
+	// products against those blocks go through the CSR kernels.
+	SparseA0, SparseA2 *matrix.Sparse
 }
 
 func (o RMatrixOptions) withDefaults() RMatrixOptions {
@@ -26,6 +42,13 @@ func (o RMatrixOptions) withDefaults() RMatrixOptions {
 		o.MaxIter = 10000
 	}
 	return o
+}
+
+func (o RMatrixOptions) workspace() *matrix.Workspace {
+	if o.Workspace != nil {
+		return o.Workspace
+	}
+	return matrix.NewWorkspace()
 }
 
 // RMatrix computes the minimal non-negative solution of
@@ -40,17 +63,23 @@ func RMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, erro
 	if n == 0 {
 		return matrix.New(0, 0), nil
 	}
-	d0, d1, d2 := uniformizeBlocks(a0, a1, a2)
-	r, err := logarithmicReduction(d0, d1, d2, opts)
-	if err == nil {
-		return r, nil
+	ws := opts.workspace()
+	id := ws.Get(n, n).SetIdentity()
+	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2)
+	r, err := logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
+	if err != nil {
+		r, err = successiveSubstitution(id, d0, d1, d2, sd2, ws, opts)
 	}
-	return successiveSubstitution(d0, d1, d2, opts)
+	ws.Put(id, d0, d1, d2)
+	return r, err
 }
 
 // uniformizeBlocks maps CTMC blocks to DTMC blocks Dk with
-// D0 = A0/c, D1 = A1/c + I, D2 = A2/c for c ≥ max exit rate.
-func uniformizeBlocks(a0, a1, a2 *matrix.Dense) (d0, d1, d2 *matrix.Dense) {
+// D0 = A0/c, D1 = A1/c + I, D2 = A2/c for c ≥ max exit rate. The dense
+// blocks come from the workspace; sparse forms are scaled alongside when
+// the caller certified them (Sparse.Scaled drops exact zeros, so the CSR
+// pattern always matches the dense non-zero pattern).
+func uniformizeBlocks(ws *matrix.Workspace, a0, a1, a2 *matrix.Dense, sa0, sa2 *matrix.Sparse) (d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse) {
 	n := a1.Rows()
 	var c float64
 	for i := 0; i < n; i++ {
@@ -59,72 +88,162 @@ func uniformizeBlocks(a0, a1, a2 *matrix.Dense) (d0, d1, d2 *matrix.Dense) {
 		}
 	}
 	c *= 1.0000001
-	d0 = matrix.Scaled(1/c, a0)
-	d1 = matrix.Sum(matrix.Scaled(1/c, a1), matrix.Identity(n))
-	d2 = matrix.Scaled(1/c, a2)
-	return d0, d1, d2
+	d0 = matrix.ScaledTo(ws.Get(n, n), 1/c, a0)
+	d1 = matrix.ScaledTo(ws.Get(n, n), 1/c, a1)
+	for i := 0; i < n; i++ {
+		d1.Add(i, i, 1)
+	}
+	d2 = matrix.ScaledTo(ws.Get(n, n), 1/c, a2)
+	if sa0 != nil {
+		sd0 = sa0.Scaled(1 / c)
+	}
+	if sa2 != nil {
+		sd2 = sa2.Scaled(1 / c)
+	}
+	return d0, d1, d2, sd0, sd2
 }
 
-// logarithmicReduction is the Latouche–Ramaswami algorithm: quadratic
-// convergence in the number of levels explored (level 2ᵏ after k steps).
-// It first computes G (first-passage to the level below), then
-// R = D₀·(I − D₁ − D₀·G)⁻¹.
-func logarithmicReduction(d0, d1, d2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+// logReductionG is the Latouche–Ramaswami iteration: quadratic convergence
+// in the number of levels explored (level 2ᵏ after k steps). It returns a
+// fresh copy of G (first-passage to the level below); all interior scratch
+// comes from ws.
+func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
 	n := d1.Rows()
-	id := matrix.Identity(n)
-	base, err := matrix.Inverse(matrix.Diff(id, d1))
-	if err != nil {
+	m := matrix.DiffTo(ws.Get(n, n), id, d1)
+	lu := ws.GetLU(n)
+	if err := lu.Reset(m); err != nil {
+		ws.Put(m)
+		ws.PutLU(lu)
 		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
 	}
-	h := matrix.Mul(base, d0) // up
-	l := matrix.Mul(base, d2) // down
-	g := l.Clone()
-	t := h.Clone()
+	base := ws.Get(n, n)
+	lu.InverseTo(base)
+	h := ws.Get(n, n) // up
+	l := ws.Get(n, n) // down
+	if sd0 != nil {
+		matrix.MulCSRTo(h, base, sd0)
+	} else {
+		matrix.MulTo(h, base, d0)
+	}
+	if sd2 != nil {
+		matrix.MulCSRTo(l, base, sd2)
+	} else {
+		matrix.MulTo(l, base, d2)
+	}
+	g := ws.Get(n, n).CopyFrom(l)
+	t := ws.Get(n, n).CopyFrom(h)
+	hl, lh, u := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
+	inv, prod := ws.Get(n, n), ws.Get(n, n)
+	h2, l2, tn := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
+	cleanup := func() {
+		ws.Put(m, base, h, l, g, t, hl, lh, u, inv, prod, h2, l2, tn)
+		ws.PutLU(lu)
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		u := matrix.Sum(matrix.Mul(h, l), matrix.Mul(l, h))
-		inv, err := matrix.Inverse(matrix.Diff(id, u))
-		if err != nil {
+		matrix.MulTo(hl, h, l)
+		matrix.MulTo(lh, l, h)
+		matrix.AddTo(u, hl, lh)
+		matrix.DiffTo(m, id, u)
+		if err := lu.Reset(m); err != nil {
+			cleanup()
 			return nil, fmt.Errorf("qbd: logarithmic reduction stalled: %w", err)
 		}
-		h2 := matrix.Mul(inv, matrix.Mul(h, h))
-		l2 := matrix.Mul(inv, matrix.Mul(l, l))
-		g = matrix.Sum(g, matrix.Mul(t, l2))
-		t = matrix.Mul(t, h2)
-		h, l = h2, l2
+		lu.InverseTo(inv)
+		matrix.MulTo(prod, h, h)
+		matrix.MulTo(h2, inv, prod)
+		matrix.MulTo(prod, l, l)
+		matrix.MulTo(l2, inv, prod)
+		matrix.MulTo(prod, t, l2)
+		matrix.AddTo(g, g, prod)
+		matrix.MulTo(tn, t, h2)
+		t, tn = tn, t
+		h, h2 = h2, h
+		l, l2 = l2, l
 		if t.MaxAbs() < opts.Tol {
-			return rFromG(d0, d1, g)
+			out := g.Clone()
+			cleanup()
+			return out, nil
 		}
 	}
+	cleanup()
 	return nil, matrix.ErrNoConverge
 }
 
-func rFromG(d0, d1, g *matrix.Dense) (*matrix.Dense, error) {
-	n := d1.Rows()
-	m := matrix.Diff(matrix.Identity(n), matrix.Sum(d1, matrix.Mul(d0, g)))
-	inv, err := matrix.Inverse(m)
+// logarithmicReductionR computes G by logarithmic reduction and converts it
+// to R = D₀·(I − D₁ − D₀·G)⁻¹.
+func logarithmicReductionR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
+	g, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
 	if err != nil {
+		return nil, err
+	}
+	return rFromG(id, d0, sd0, d1, g, ws)
+}
+
+func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *matrix.Workspace) (*matrix.Dense, error) {
+	n := d1.Rows()
+	m := ws.Get(n, n) // D₀·G, then D₁ + D₀·G, then I − (D₁ + D₀·G)
+	if sd0 != nil {
+		sd0.MulDenseTo(m, g)
+	} else {
+		matrix.MulTo(m, d0, g)
+	}
+	matrix.AddTo(m, d1, m)
+	matrix.DiffTo(m, id, m)
+	lu := ws.GetLU(n)
+	if err := lu.Reset(m); err != nil {
+		ws.Put(m)
+		ws.PutLU(lu)
 		return nil, fmt.Errorf("qbd: I − D₁ − D₀G singular: %w", err)
 	}
-	return matrix.Mul(d0, inv), nil
+	inv := ws.Get(n, n)
+	lu.InverseTo(inv)
+	var r *matrix.Dense // freshly allocated: R escapes to the caller
+	if sd0 != nil {
+		r = sd0.MulDense(inv)
+	} else {
+		r = matrix.Mul(d0, inv)
+	}
+	ws.Put(m, inv)
+	ws.PutLU(lu)
+	return r, nil
 }
 
 // successiveSubstitution iterates R ← (D₀ + R²·D₂)·(I − D₁)⁻¹ from R = 0.
 // Linear convergence; kept as a robust fallback.
-func successiveSubstitution(d0, d1, d2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
 	n := d1.Rows()
-	inv, err := matrix.Inverse(matrix.Diff(matrix.Identity(n), d1))
-	if err != nil {
+	m := matrix.DiffTo(ws.Get(n, n), id, d1)
+	lu := ws.GetLU(n)
+	if err := lu.Reset(m); err != nil {
+		ws.Put(m)
+		ws.PutLU(lu)
 		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
 	}
-	r := matrix.New(n, n)
+	inv := ws.Get(n, n)
+	lu.InverseTo(inv)
+	r := matrix.New(n, n) // freshly allocated: R escapes on success
+	rr, s, next := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
+	cleanup := func() {
+		ws.Put(m, inv, rr, s, next)
+		ws.PutLU(lu)
+	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
-		next := matrix.Mul(matrix.Sum(d0, matrix.Mul(matrix.Mul(r, r), d2)), inv)
-		diff := matrix.Diff(next, r).MaxAbs()
-		r = next
+		matrix.MulTo(rr, r, r)
+		if sd2 != nil {
+			matrix.MulCSRTo(s, rr, sd2)
+		} else {
+			matrix.MulTo(s, rr, d2)
+		}
+		matrix.AddTo(s, d0, s)
+		matrix.MulTo(next, s, inv)
+		diff := matrix.MaxAbsDiff(next, r)
+		r.CopyFrom(next)
 		if diff < opts.Tol {
+			cleanup()
 			return r, nil
 		}
 	}
+	cleanup()
 	return nil, matrix.ErrNoConverge
 }
 
@@ -138,50 +257,50 @@ func GMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, erro
 	if n == 0 {
 		return matrix.New(0, 0), nil
 	}
-	d0, d1, d2 := uniformizeBlocks(a0, a1, a2)
-	id := matrix.Identity(n)
-	base, err := matrix.Inverse(matrix.Diff(id, d1))
-	if err != nil {
-		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
+	ws := opts.workspace()
+	id := ws.Get(n, n).SetIdentity()
+	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2)
+	g, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
+	if err != nil || !gOK(g) {
+		// Functional iteration G ← D₂ + D₁G + D₀G², monotone from 0 and
+		// robust for transient (substochastic-G) chains where logarithmic
+		// reduction can degenerate or produce NaNs.
+		g, err = functionalIterationG(d0, d1, d2, sd0, ws, opts)
 	}
-	h := matrix.Mul(base, d0)
-	l := matrix.Mul(base, d2)
-	g := l.Clone()
-	t := h.Clone()
-	for iter := 0; iter < opts.MaxIter; iter++ {
-		u := matrix.Sum(matrix.Mul(h, l), matrix.Mul(l, h))
-		inv, err := matrix.Inverse(matrix.Diff(id, u))
-		if err != nil {
-			break // transient chains can degenerate here; fall back below
-		}
-		h2 := matrix.Mul(inv, matrix.Mul(h, h))
-		l2 := matrix.Mul(inv, matrix.Mul(l, l))
-		g = matrix.Sum(g, matrix.Mul(t, l2))
-		t = matrix.Mul(t, h2)
-		h, l = h2, l2
-		if t.MaxAbs() < opts.Tol {
-			if gOK(g) {
-				return g, nil
-			}
-			break
-		}
-	}
-	// Functional iteration G ← D₂ + D₁G + D₀G², monotone from 0 and
-	// robust for transient (substochastic-G) chains where logarithmic
-	// reduction can produce NaNs.
-	g = matrix.New(n, n)
+	ws.Put(id, d0, d1, d2)
+	return g, err
+}
+
+func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
+	n := d1.Rows()
+	g := matrix.New(n, n) // freshly allocated: G escapes on success
+	s, gg, q, next := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
+	cleanup := func() { ws.Put(s, gg, q, next) }
 	for iter := 0; iter < opts.MaxIter*100; iter++ {
-		next := matrix.Sum(matrix.Sum(d2, matrix.Mul(d1, g)), matrix.Mul(d0, matrix.Mul(g, g)))
-		diff := matrix.Diff(next, g).MaxAbs()
-		g = next
+		matrix.MulTo(s, d1, g)
+		matrix.AddTo(s, d2, s)
+		matrix.MulTo(gg, g, g)
+		if sd0 != nil {
+			sd0.MulDenseTo(q, gg)
+		} else {
+			matrix.MulTo(q, d0, gg)
+		}
+		matrix.AddTo(next, s, q)
+		diff := matrix.MaxAbsDiff(next, g)
+		g.CopyFrom(next)
 		if diff < opts.Tol {
+			cleanup()
 			return g, nil
 		}
 	}
+	cleanup()
 	return nil, matrix.ErrNoConverge
 }
 
 func gOK(g *matrix.Dense) bool {
+	if g == nil {
+		return false
+	}
 	for i := 0; i < g.Rows(); i++ {
 		for j := 0; j < g.Cols(); j++ {
 			v := g.At(i, j)

@@ -16,8 +16,9 @@ type Solution struct {
 	Boundary [][]float64 // π_0 .. π_{b-1}
 	PiB      []float64   // π_b, first repeating level
 
-	sumR  *matrix.Dense // (I−R)⁻¹, cached
-	sumR2 *matrix.Dense // (I−R)⁻², cached
+	sumR   *matrix.Dense // (I−R)⁻¹, cached
+	sumR2  *matrix.Dense // (I−R)⁻², cached
+	levels [][]float64   // π_b·Rᵏ memo; levels[0] aliases PiB
 }
 
 // Solve computes the stationary distribution. It verifies the drift
@@ -33,23 +34,33 @@ func Solve(p *Process, opts RMatrixOptions) (*Solution, error) {
 	if !stable {
 		return nil, ErrUnstable
 	}
+	// Activate the CSR fast path for blocks the builder certified sparse,
+	// unless the caller supplied its own forms.
+	if opts.SparseA0 == nil {
+		opts.SparseA0 = p.SparseA0
+	}
+	if opts.SparseA2 == nil {
+		opts.SparseA2 = p.SparseA2
+	}
+	ws := opts.workspace()
+	opts.Workspace = ws
 	r, err := RMatrix(p.A0, p.A1, p.A2, opts)
 	if err != nil {
 		return nil, err
 	}
 	// Gelfand bound: rigorous, and immune to the eigenvalue clustering
 	// that can stall power iteration.
-	if sp := matrix.SpectralRadiusUpperBound(r, 40); sp >= 1 {
+	if sp := matrix.SpectralRadiusUpperBoundWS(r, 40, ws); sp >= 1 {
 		return nil, ErrUnstable
 	}
-	return solveBoundary(p, r)
+	return solveBoundary(p, r, opts.SparseA2, ws)
 }
 
 // solveBoundary assembles the finite linear system of paper eqs. (21)–(22)
 // and (24)–(27): global balance for levels 0..b with π_{b+1} = π_b·R
 // substituted, plus the normalization constraint replacing one redundant
 // balance equation.
-func solveBoundary(p *Process, r *matrix.Dense) (*Solution, error) {
+func solveBoundary(p *Process, r *matrix.Dense, sa2 *matrix.Sparse, ws *matrix.Workspace) (*Solution, error) {
 	b := p.Boundary()
 	n := p.RepeatDim()
 	dims := make([]int, b+1)
@@ -72,7 +83,7 @@ func solveBoundary(p *Process, r *matrix.Dense) (*Solution, error) {
 
 	// Unknown x = (π_0, …, π_b) as a row vector; equations as columns of M:
 	// x·M = rhs. Column block j holds the balance equations of level j.
-	m := matrix.New(total, total)
+	m := ws.Get(total, total)
 	for j := 0; j < b; j++ {
 		// Level j receives: from j−1 via Up[j−1], from j via Local[j],
 		// from j+1 via Down[j+1].
@@ -85,7 +96,15 @@ func solveBoundary(p *Process, r *matrix.Dense) (*Solution, error) {
 	// Level b: from b−1 via Up[b−1]; local A1 plus the folded-in flow from
 	// level b+1: π_{b+1}·A₂ = π_b·R·A₂.
 	embedAt(m, offs[b-1], offs[b], p.Up[b-1])
-	embedAt(m, offs[b], offs[b], matrix.Sum(p.A1, matrix.Mul(r, p.A2)))
+	ra2 := ws.Get(n, n)
+	if sa2 != nil {
+		matrix.MulCSRTo(ra2, r, sa2)
+	} else {
+		matrix.MulTo(ra2, r, p.A2)
+	}
+	matrix.AddTo(ra2, p.A1, ra2)
+	embedAt(m, offs[b], offs[b], ra2)
+	ws.Put(ra2)
 
 	// Replace the first column with the normalization:
 	// Σ_{i<b} π_i·e + π_b·(I−R)⁻¹·e = 1.
@@ -99,10 +118,19 @@ func solveBoundary(p *Process, r *matrix.Dense) (*Solution, error) {
 
 	rhs := make([]float64, total)
 	rhs[0] = 1
-	// Solve x·M = rhs ⟺ Mᵀ·xᵀ = rhs.
-	x, err := matrix.SolveVec(m.Transpose(), rhs)
-	if err != nil {
-		return nil, fmt.Errorf("qbd: boundary system singular (reducible boundary?): %w", err)
+	// Solve x·M = rhs ⟺ Mᵀ·xᵀ = rhs. x escapes into the Solution, so it
+	// is freshly allocated by SolveVec; the system matrices are scratch.
+	mt := matrix.TransposeTo(ws.Get(total, total), m)
+	lu := ws.GetLU(total)
+	luErr := lu.Reset(mt)
+	var x []float64
+	if luErr == nil {
+		x = lu.SolveVec(rhs)
+	}
+	ws.Put(m, mt)
+	ws.PutLU(lu)
+	if luErr != nil {
+		return nil, fmt.Errorf("qbd: boundary system singular (reducible boundary?): %w", luErr)
 	}
 	sol := &Solution{Process: p, R: r, PiB: x[offs[b] : offs[b]+n], sumR: sumR}
 	for i := 0; i < b; i++ {
@@ -141,17 +169,29 @@ func (s *Solution) tail2() (*matrix.Dense, error) {
 	return s.sumR2, nil
 }
 
+// repeatLevel returns the memoized π_{b+k} = π_b·Rᵏ (k ≥ 0). Each vector
+// is computed once from its predecessor — exactly the product chain Level
+// used to redo from π_b on every call, so memoization changes no bits,
+// only the asymptotic cost of walking the repeating levels (the effective-
+// quantum extraction reads hundreds of consecutive levels per solve).
+// The returned slice is shared; callers must not mutate it.
+func (s *Solution) repeatLevel(k int) []float64 {
+	if len(s.levels) == 0 {
+		s.levels = append(s.levels, s.PiB)
+	}
+	for len(s.levels) <= k {
+		s.levels = append(s.levels, matrix.VecMul(s.levels[len(s.levels)-1], s.R))
+	}
+	return s.levels[k]
+}
+
 // Level returns π_i for any level i ≥ 0.
 func (s *Solution) Level(i int) []float64 {
 	b := s.Process.Boundary()
 	if i < b {
 		return append([]float64(nil), s.Boundary[i]...)
 	}
-	v := append([]float64(nil), s.PiB...)
-	for k := b; k < i; k++ {
-		v = matrix.VecMul(v, s.R)
-	}
-	return v
+	return append([]float64(nil), s.repeatLevel(i-b)...)
 }
 
 // LevelMass returns P[level = i].
@@ -218,10 +258,7 @@ func (s *Solution) TailProb(k int) float64 {
 		return clampProb(tail + boundaryMassBetween(s, k, b))
 	}
 	// k > b: tail = π_b·R^{k−b}·(I−R)⁻¹·e.
-	v := append([]float64(nil), s.PiB...)
-	for i := b; i < k; i++ {
-		v = matrix.VecMul(v, s.R)
-	}
+	v := s.repeatLevel(k - b)
 	return clampProb(matrix.Dot(v, matrix.MulVec(s.sumR, matrix.Ones(s.Process.RepeatDim()))))
 }
 
