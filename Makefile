@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci bench bench-sweep bench-kernel bench-compare
+.PHONY: build vet test race ci fuzz-short bench bench-sweep bench-kernel bench-compare
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,17 @@ race:
 # detector. ./... covers every package, including the kernel-heavy ones
 # (internal/matrix, internal/qbd, internal/core) whose property tests pin
 # the in-place and SSE2 kernels bitwise to their allocating counterparts,
-# and internal/sweep, the concurrency-heavy subsystem.
+# and internal/sweep, the concurrency-heavy subsystem. The explicit
+# race-mode pass over sweep and certify re-runs the fault-injection and
+# degradation paths, whose hooks and worker pool are the likeliest place
+# for a data race to hide.
 ci: build vet race
+	$(GO) vet ./... && $(GO) test -race ./internal/sweep/ ./internal/certify/
+
+# fuzz-short is the certification-soundness smoke: 30 seconds of random
+# QBD generator blocks must never produce a certified-but-invalid R.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzRMatrixCertify -fuzztime 30s ./internal/certify/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

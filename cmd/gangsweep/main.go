@@ -11,6 +11,8 @@
 //	gangsweep -spec spec.json -cache-dir .sweepcache   # rerun: 100% cache hits
 //	gangsweep -spec spec.json -resume=false -cache-dir .sweepcache  # ignore warm cache
 //	gangsweep -spec spec.json -timeout 2m     # deadline; partial results kept
+//	gangsweep -spec spec.json -allow-degraded # fall back to simulation per failed class
+//	gangsweep -spec spec.json -strict         # any certification failure is fatal
 //
 // With -cache-dir, trial results persist in <dir>/cache.jsonl keyed by a
 // content hash of each trial's resolved parameters, so repeated and
@@ -61,8 +63,14 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "print the results CSV to stdout")
 		quiet    = flag.Bool("quiet", false, "suppress per-trial progress")
 		example  = flag.Bool("example", false, "print an example spec and exit")
+		strict   = flag.Bool("strict", false, "treat every certification failure as a hard trial error (no degradation)")
+		degraded = flag.Bool("allow-degraded", false, "after retries, fall back to simulation for classes whose analytic solve failed certification (results flagged degraded, never cached)")
 	)
 	flag.Parse()
+	if *strict && *degraded {
+		fmt.Fprintln(os.Stderr, "gangsweep: -strict and -allow-degraded are mutually exclusive")
+		os.Exit(2)
+	}
 
 	if *example {
 		fmt.Print(exampleSpec)
@@ -75,7 +83,7 @@ func main() {
 	spec, err := sweep.LoadSpec(*specPath)
 	fail(err)
 
-	opts := sweep.Options{Workers: *parallel}
+	opts := sweep.Options{Workers: *parallel, Strict: *strict, AllowDegraded: *degraded}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)
 		fail(err)

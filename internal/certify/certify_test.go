@@ -1,0 +1,182 @@
+package certify
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/certify/faultinject"
+)
+
+func TestFailureUnwrapExposesKindAndCause(t *testing.T) {
+	cause := errors.New("lu blew up")
+	err := error(&Failure{Kind: ErrSingularBoundary, Stage: "qbd.boundary", Err: cause})
+	if !errors.Is(err, ErrSingularBoundary) {
+		t.Fatal("kind not visible to errors.Is")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("cause not visible to errors.Is")
+	}
+	if errors.Is(err, ErrNotConverged) {
+		t.Fatal("unrelated kind matched")
+	}
+	var f *Failure
+	if !errors.As(err, &f) || f.Stage != "qbd.boundary" {
+		t.Fatalf("errors.As lost the failure: %+v", f)
+	}
+}
+
+func TestFailureErrorMessage(t *testing.T) {
+	err := &Failure{Kind: ErrNotConverged, Stage: "qbd.rmatrix", Iterations: 42, Residual: 1e-3,
+		Err: errors.New("both rungs died")}
+	msg := err.Error()
+	for _, want := range []string{"qbd.rmatrix", "42 iterations", "0.001", "both rungs died"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestClassifyPriority(t *testing.T) {
+	// A chain carrying both contamination and non-convergence classifies
+	// as the more severe contamination.
+	joined := errors.Join(
+		&Failure{Kind: ErrNotConverged},
+		&Failure{Kind: ErrNumericContaminated},
+	)
+	if got := Classify(joined, ErrConfig); got != ErrNumericContaminated {
+		t.Fatalf("Classify = %v, want ErrNumericContaminated", got)
+	}
+	if got := Classify(errors.New("raw"), ErrNotConverged); got != ErrNotConverged {
+		t.Fatalf("untyped error default = %v", got)
+	}
+}
+
+func TestKindLabel(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, ""},
+		{&Failure{Kind: ErrConfig}, "config"},
+		{&Failure{Kind: ErrNumericContaminated}, "numeric"},
+		{&Failure{Kind: ErrSingularBoundary}, "singular-boundary"},
+		{&Failure{Kind: ErrUnstableClass}, "unstable"},
+		{&Failure{Kind: ErrNotConverged}, "not-converged"},
+		{errors.New("raw"), "error"},
+		{fmt.Errorf("wrapped: %w", &Failure{Kind: ErrNotConverged}), "not-converged"},
+	}
+	for _, c := range cases {
+		if got := KindLabel(c.err); got != c.want {
+			t.Fatalf("KindLabel(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+func TestCertificateVerify(t *testing.T) {
+	healthy := func() *Certificate {
+		return &Certificate{
+			Finite: true, Residual: 1e-12, SpectralRadius: 0.6,
+			TotalMass: 1 + 1e-9, MinEntry: 0, BoundaryResidual: 1e-14,
+			Tol: DefaultTolerances(),
+		}
+	}
+	if err := healthy().Verify(); err != nil {
+		t.Fatalf("healthy certificate rejected: %v", err)
+	}
+
+	c := healthy()
+	c.Finite = false
+	if err := c.Verify(); !errors.Is(err, ErrNumericContaminated) {
+		t.Fatalf("non-finite → %v, want ErrNumericContaminated", err)
+	}
+	c = healthy()
+	c.Residual = 1e-3
+	if err := c.Verify(); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("fat residual → %v, want ErrNotConverged", err)
+	}
+	c = healthy()
+	c.Residual = math.NaN()
+	if err := c.Verify(); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("NaN residual → %v, want ErrNotConverged", err)
+	}
+	c = healthy()
+	c.SpectralRadius = 1.0
+	if err := c.Verify(); !errors.Is(err, ErrUnstableClass) {
+		t.Fatalf("sp(R) = 1 → %v, want ErrUnstableClass", err)
+	}
+	c = healthy()
+	c.TotalMass = 0.9
+	if err := c.Verify(); !errors.Is(err, ErrNumericContaminated) {
+		t.Fatalf("lost mass → %v, want ErrNumericContaminated", err)
+	}
+	c = healthy()
+	c.MinEntry = -1e-3
+	if err := c.Verify(); !errors.Is(err, ErrNumericContaminated) {
+		t.Fatalf("negative probability → %v, want ErrNumericContaminated", err)
+	}
+	c = healthy()
+	c.BoundaryResidual = 1e-2
+	if err := c.Verify(); !errors.Is(err, ErrSingularBoundary) {
+		t.Fatalf("unbalanced boundary → %v, want ErrSingularBoundary", err)
+	}
+
+	// VerifyR ignores the boundary-level fields entirely.
+	c = healthy()
+	c.SpectralRadius = 2
+	c.TotalMass = 0.5
+	if err := c.VerifyR(); err != nil {
+		t.Fatalf("VerifyR examined boundary fields: %v", err)
+	}
+}
+
+func TestFaultInjectFireAndDisarm(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	if err := faultinject.Fire("certify.test", nil); err != nil {
+		t.Fatalf("unarmed Fire returned %v", err)
+	}
+	boom := errors.New("boom")
+	faultinject.Arm("certify.test", func(any) error { return boom })
+	if err := faultinject.Fire("certify.test", nil); err != boom {
+		t.Fatalf("armed Fire returned %v", err)
+	}
+	if err := faultinject.Fire("certify.other", nil); err != nil {
+		t.Fatalf("unrelated point fired: %v", err)
+	}
+	faultinject.Disarm("certify.test")
+	if err := faultinject.Fire("certify.test", nil); err != nil {
+		t.Fatalf("disarmed Fire returned %v", err)
+	}
+}
+
+func TestFaultInjectArmOnce(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	count := 0
+	faultinject.ArmOnce("certify.once", func(any) error { count++; return errors.New("once") })
+	if err := faultinject.Fire("certify.once", nil); err == nil {
+		t.Fatal("first firing missed")
+	}
+	if err := faultinject.Fire("certify.once", nil); err != nil {
+		t.Fatalf("second firing not disarmed: %v", err)
+	}
+	if count != 1 {
+		t.Fatalf("hook ran %d times, want 1", count)
+	}
+}
+
+func TestFaultInjectMutatesPayload(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm("certify.mutate", func(p any) error {
+		p.(map[string]float64)["v"] = math.NaN()
+		return nil
+	})
+	payload := map[string]float64{"v": 1}
+	if err := faultinject.Fire("certify.mutate", payload); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(payload["v"]) {
+		t.Fatal("payload not mutated")
+	}
+}

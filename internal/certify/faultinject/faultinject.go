@@ -1,0 +1,80 @@
+// Package faultinject provides named fault-injection points for the
+// solver pipeline's failure-path tests. Production code calls Fire at
+// strategic points (after an R-matrix rung, before a result is returned,
+// before trial values are recorded); when nothing is armed — the only
+// state outside tests — Fire is a single atomic load. Tests arm a hook
+// to corrupt the payload in place (e.g. plant a NaN in a kernel), force
+// a typed error, or panic to simulate a worker dying mid-trial.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	armed atomic.Int32
+	mu    sync.Mutex
+	hooks = map[string]func(payload any) error{}
+)
+
+// Arm installs fn at point, replacing any previous hook there.
+func Arm(point string, fn func(payload any) error) {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks[point] = fn
+	armed.Store(int32(len(hooks)))
+}
+
+// ArmOnce installs fn at point for exactly one firing; the hook disarms
+// itself afterwards (concurrent firings beyond the first are no-ops).
+func ArmOnce(point string, fn func(payload any) error) {
+	var once sync.Once
+	Arm(point, func(p any) error {
+		var err error
+		fired := false
+		once.Do(func() {
+			fired = true
+			err = fn(p)
+		})
+		if fired {
+			Disarm(point)
+		}
+		return err
+	})
+}
+
+// Disarm removes the hook at point, if any.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	delete(hooks, point)
+	armed.Store(int32(len(hooks)))
+}
+
+// Reset removes every hook. Tests call it in cleanup so a failed test
+// cannot leak faults into its siblings.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	clear(hooks)
+	armed.Store(0)
+}
+
+// Fire invokes the hook armed at point with payload and returns its
+// error; with no hook armed anywhere it costs one atomic load and
+// returns nil. Hooks may mutate the payload, return an error for the
+// call site to propagate, or panic (the sweep harness's panic isolation
+// is itself under test).
+func Fire(point string, payload any) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := hooks[point]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(payload)
+}

@@ -6,6 +6,8 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/certify"
+	"repro/internal/certify/faultinject"
 	"repro/internal/matrix"
 	"repro/internal/phase"
 	"repro/internal/qbd"
@@ -91,6 +93,13 @@ type ClassResult struct {
 	Intervisit *phase.Dist
 	// Solution exposes the underlying matrix-geometric solution.
 	Solution *qbd.Solution
+	// Cert is the certificate of the class's final QBD solve.
+	Cert *certify.Certificate
+	// Err is the typed failure that killed this class's solve, nil for a
+	// healthy (stable or provably unstable) class. A failed class is
+	// reported per class rather than aborting the whole model solve, so
+	// the sweep layer can degrade just that class to simulation.
+	Err error
 
 	chain *ClassChain
 }
@@ -180,8 +189,21 @@ func solve(m *Model, opts SolveOptions) (*Result, error) {
 		for p := 0; p < l; p++ {
 			f := IntervisitFrom(m, p, quanta)
 			cr, err := solveClass(m, p, f, opts)
+			if err == nil {
+				// Fault-injection point: tests fail one class here to prove
+				// the solve degrades per class instead of dying whole.
+				err = faultinject.Fire("core.class", p)
+			}
 			if err != nil {
-				return nil, fmt.Errorf("core: class %d: %w", p, err)
+				// A failed class is carried, not fatal: it keeps its nominal
+				// quantum through the fixed point (like an unstable class)
+				// and surfaces its typed failure for the caller to act on.
+				cr = &ClassResult{Rho: m.ClassUtilization(p), Intervisit: f,
+					Err: &certify.Failure{
+						Kind:  certify.Classify(err, certify.ErrNumericContaminated),
+						Stage: fmt.Sprintf("core.class[%d]", p),
+						Err:   err,
+					}}
 			}
 			if cr.Stable {
 				anyStable = true
@@ -190,6 +212,20 @@ func solve(m *Model, opts SolveOptions) (*Result, error) {
 			res.Classes = append(res.Classes, *cr)
 		}
 		if !anyStable {
+			var cerrs []error
+			for p := range res.Classes {
+				if e := res.Classes[p].Err; e != nil {
+					cerrs = append(cerrs, fmt.Errorf("class %d: %w", p, e))
+				}
+			}
+			if len(cerrs) > 0 {
+				joined := errors.Join(cerrs...)
+				return res, &certify.Failure{
+					Kind:  certify.Classify(joined, certify.ErrNumericContaminated),
+					Stage: "core.solve",
+					Err:   joined,
+				}
+			}
 			return res, ErrAllUnstable
 		}
 
@@ -241,7 +277,11 @@ func solve(m *Model, opts SolveOptions) (*Result, error) {
 			}
 			red, err := pr.dist(opts.MaxFitOrder)
 			if err != nil {
-				return nil, fmt.Errorf("core: class %d effective-quantum fit: %w", p, err)
+				return nil, &certify.Failure{
+					Kind:  certify.Classify(err, certify.ErrNumericContaminated),
+					Stage: fmt.Sprintf("core.refit[%d]", p),
+					Err:   err,
+				}
 			}
 			quanta[p] = red
 		}
@@ -255,6 +295,11 @@ func solve(m *Model, opts SolveOptions) (*Result, error) {
 		} else {
 			res.MeanCycle += m.Classes[p].Quantum.Mean()
 		}
+	}
+	// Fault-injection point: tests force a typed failure on an otherwise
+	// healthy result to drive the sweep harness's retry-and-escalate path.
+	if ferr := faultinject.Fire("core.result", res); ferr != nil {
+		return res, ferr
 	}
 	return res, nil
 }
@@ -328,6 +373,7 @@ func solveClass(m *Model, p int, f *phase.Dist, opts SolveOptions) (*ClassResult
 	}
 	cr.Stable = true
 	cr.Solution = sol
+	cr.Cert = sol.Cert
 	cr.SpectralRadiusR = sol.SpectralRadiusR()
 	cr.N, err = ch.MeanJobs(sol)
 	if err != nil {

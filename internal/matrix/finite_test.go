@@ -1,0 +1,80 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFinite(t *testing.T) {
+	m := NewFromRows([][]float64{{1, 2}, {3, 4}})
+	if !m.Finite() {
+		t.Fatal("finite matrix reported non-finite")
+	}
+	m.Set(1, 0, math.NaN())
+	if m.Finite() {
+		t.Fatal("NaN not detected")
+	}
+	m.Set(1, 0, math.Inf(-1))
+	if m.Finite() {
+		t.Fatal("-Inf not detected")
+	}
+	if !New(0, 0).Finite() {
+		t.Fatal("empty matrix should be finite")
+	}
+}
+
+func TestFiniteVec(t *testing.T) {
+	if !FiniteVec([]float64{0, -1, 1e300}) {
+		t.Fatal("finite vector reported non-finite")
+	}
+	if FiniteVec([]float64{0, math.NaN()}) {
+		t.Fatal("NaN not detected")
+	}
+	if FiniteVec([]float64{math.Inf(1)}) {
+		t.Fatal("+Inf not detected")
+	}
+	if !FiniteVec(nil) {
+		t.Fatal("empty vector should be finite")
+	}
+}
+
+// TestInverseInfNormEst checks the Hager–Higham estimate against the
+// exact ‖A⁻¹‖∞ from explicit inversion. The estimate is a lower bound
+// that is almost always within a small factor; for these well-behaved
+// test matrices it should be essentially exact.
+func TestInverseInfNormEst(t *testing.T) {
+	cases := []*Dense{
+		NewFromRows([][]float64{{4, 1}, {2, 3}}),
+		NewFromRows([][]float64{{1, 0, 0}, {0, 1e-3, 0}, {0, 0, 10}}),
+		NewFromRows([][]float64{{2, -1, 0}, {-1, 2, -1}, {0, -1, 2}}),
+	}
+	for i, a := range cases {
+		f, err := Factorize(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inv := New(a.Rows(), a.Rows())
+		f.InverseTo(inv)
+		exact := inv.InfNorm()
+		est := f.InverseInfNormEst()
+		if est > exact*(1+1e-10) {
+			t.Fatalf("case %d: estimate %g exceeds exact norm %g", i, est, exact)
+		}
+		if est < exact/3 {
+			t.Fatalf("case %d: estimate %g too far below exact norm %g", i, est, exact)
+		}
+	}
+}
+
+func TestCondInfEstimate(t *testing.T) {
+	// diag(1, 1e-3): cond∞ = 1 / 1e-3 = 1000, recovered exactly.
+	a := NewFromRows([][]float64{{1, 0}, {0, 1e-3}})
+	f, err := Factorize(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := f.CondInfEstimate(a.InfNorm())
+	if math.Abs(cond-1000) > 1e-6 {
+		t.Fatalf("cond estimate %g, want 1000", cond)
+	}
+}

@@ -263,6 +263,28 @@ func (m *Dense) InfNorm() float64 {
 	return mx
 }
 
+// Finite reports whether every element is finite (no NaN or ±Inf) — the
+// cheapest possible contamination check, run by the certification layer
+// on every solver output.
+func (m *Dense) Finite() bool {
+	for _, v := range m.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// FiniteVec reports whether every element of x is finite.
+func FiniteVec(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
 // EqualApprox reports whether A and B agree elementwise within tol.
 func EqualApprox(a, b *Dense, tol float64) bool {
 	if a.rows != b.rows || a.cols != b.cols {

@@ -119,12 +119,12 @@ func TestRMatrixSuccessiveSubstitutionAgrees(t *testing.T) {
 	ws := matrix.NewWorkspace()
 	n := p.A1.Rows()
 	id := ws.Get(n, n).SetIdentity()
-	d0, d1, d2, _, _ := uniformizeBlocks(ws, p.A0, p.A1, p.A2, nil, nil)
-	rLR, err := logarithmicReductionR(id, d0, d1, d2, nil, nil, ws, RMatrixOptions{}.withDefaults())
+	d0, d1, d2, _, _ := uniformizeBlocks(ws, p.A0, p.A1, p.A2, nil, nil, uniformizeMargin)
+	rLR, _, err := logarithmicReductionR(id, d0, d1, d2, nil, nil, ws, RMatrixOptions{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rSS, err := successiveSubstitution(id, d0, d1, d2, nil, ws, RMatrixOptions{}.withDefaults())
+	rSS, _, err := successiveSubstitution(id, d0, d1, d2, nil, ws, RMatrixOptions{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/certify"
+	"repro/internal/certify/faultinject"
 	"repro/internal/matrix"
 )
 
@@ -32,6 +34,10 @@ type RMatrixOptions struct {
 	// (typically Process.SparseA0/SparseA2 from CertifySparse). When set,
 	// products against those blocks go through the CSR kernels.
 	SparseA0, SparseA2 *matrix.Sparse
+
+	// CertTol overrides the certification tolerances Solve judges its
+	// result against; nil means certify.DefaultTolerances().
+	CertTol *certify.Tolerances
 }
 
 func (o RMatrixOptions) withDefaults() RMatrixOptions {
@@ -51,35 +57,228 @@ func (o RMatrixOptions) workspace() *matrix.Workspace {
 	return matrix.NewWorkspace()
 }
 
+func (o RMatrixOptions) certTol() certify.Tolerances {
+	if o.CertTol != nil {
+		return *o.CertTol
+	}
+	return certify.DefaultTolerances()
+}
+
+// Uniformization margins: the rate constant c is the maximum exit rate
+// inflated by the margin, so the discretized blocks stay strictly
+// substochastic. The default margin reproduces the historical iteration
+// bit-for-bit; the shifted margin is used by the regularized fallback
+// rung, trading per-step progress for extra distance from the stochastic
+// boundary when the tight discretization misbehaves numerically.
+const (
+	uniformizeMargin = 1.0000001
+	shiftedMargin    = 1.01
+)
+
+// Fallback-ladder rung names, in the order they are attempted.
+const (
+	rungLogReduction = "logreduction"
+	rungSubstitution = "substitution"
+	rungTightened    = "tightened"
+	rungShifted      = "shifted"
+)
+
 // RMatrix computes the minimal non-negative solution of
 // R²·A₂ + R·A₁ + A₀ = 0 (paper eq. 23) by logarithmic reduction on the
 // uniformized blocks, falling back to successive substitution if reduction
 // stalls. The same R solves both the CTMC and its uniformized DTMC
 // equation, so we discretize first (§2.4) and work with substochastic
-// blocks throughout.
+// blocks throughout. When both rungs fail, the returned error joins each
+// rung's failure (errors.Join) under certify.ErrNotConverged, so the
+// caller sees why every attempt died, not just the last.
 func RMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
-	opts = opts.withDefaults()
-	n := a1.Rows()
-	if n == 0 {
-		return matrix.New(0, 0), nil
-	}
-	ws := opts.workspace()
-	id := ws.Get(n, n).SetIdentity()
-	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2)
-	r, err := logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
-	if err != nil {
-		r, err = successiveSubstitution(id, d0, d1, d2, sd2, ws, opts)
-	}
-	ws.Put(id, d0, d1, d2)
+	r, _, err := rMatrixLadder(a0, a1, a2, opts.withDefaults(), nil)
 	return r, err
 }
 
+// rMatrixLadder runs the structured fallback ladder. With certTol == nil
+// it attempts the two classical rungs (logarithmic reduction, successive
+// substitution) exactly as RMatrix always has, accepting the first R an
+// algorithm converges to. With certTol set (the Solve path) every rung's
+// R is certified — finite entries, fixed-point residual below tolerance —
+// before being accepted, and two further rungs are available: a
+// tightened-tolerance retry of both algorithms, then a shifted/
+// regularized solve (functional G iteration on a re-uniformized chain
+// with a diagonally regularized final system). The returned certificate
+// records the full path and total iteration count.
+func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certify.Tolerances) (*matrix.Dense, *certify.Certificate, error) {
+	n := a1.Rows()
+	if n == 0 {
+		c := &certify.Certificate{Finite: true}
+		if certTol != nil {
+			c.Tol = *certTol
+		}
+		return matrix.New(0, 0), c, nil
+	}
+	ws := opts.workspace()
+	id := ws.Get(n, n).SetIdentity()
+	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, uniformizeMargin)
+
+	var (
+		path  []string
+		rungs []error
+		iters int
+	)
+	// try runs one rung; it returns the accepted R and its certificate,
+	// or records the failure and returns nils so the ladder descends.
+	try := func(name string, run func() (*matrix.Dense, int, error)) (*matrix.Dense, *certify.Certificate) {
+		r, it, err := run()
+		iters += it
+		if err != nil {
+			path = append(path, name+": "+certify.KindLabel(classifyRungErr(err)))
+			rungs = append(rungs, fmt.Errorf("%s: %w", name, err))
+			return nil, nil
+		}
+		if certTol == nil {
+			path = append(path, name+": ok")
+			return r, nil
+		}
+		// Fault-injection point: tests corrupt r here to prove the ladder
+		// catches contamination instead of passing it downstream.
+		if ferr := faultinject.Fire("qbd.R", r); ferr != nil {
+			path = append(path, name+": injected")
+			rungs = append(rungs, fmt.Errorf("%s: %w", name, ferr))
+			return nil, nil
+		}
+		c := certifyRWS(r, a0, a1, a2, *certTol, ws)
+		if verr := c.VerifyR(); verr != nil {
+			path = append(path, name+": uncertified")
+			rungs = append(rungs, fmt.Errorf("%s: %w", name, verr))
+			return nil, nil
+		}
+		path = append(path, name+": ok")
+		return r, c
+	}
+
+	r, cert := try(rungLogReduction, func() (*matrix.Dense, int, error) {
+		return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
+	})
+	if r == nil {
+		r, cert = try(rungSubstitution, func() (*matrix.Dense, int, error) {
+			return successiveSubstitution(id, d0, d1, d2, sd2, ws, opts)
+		})
+	}
+	if r == nil && certTol != nil {
+		// Rung 3: tightened-tolerance retry. A result that converged but
+		// failed residual certification usually stalled just short; a
+		// smaller stopping tolerance and a bigger budget give both
+		// algorithms a genuinely new attempt.
+		tight := opts
+		tight.Tol = opts.Tol * 1e-2
+		tight.MaxIter = opts.MaxIter * 10
+		r, cert = try(rungTightened+"-"+rungLogReduction, func() (*matrix.Dense, int, error) {
+			return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, tight)
+		})
+		if r == nil {
+			r, cert = try(rungTightened+"-"+rungSubstitution, func() (*matrix.Dense, int, error) {
+				return successiveSubstitution(id, d0, d1, d2, sd2, ws, tight)
+			})
+		}
+		if r == nil {
+			// Rung 4: shifted/regularized solve. Re-uniformize with a fat
+			// margin (a genuinely different, better-separated discretization),
+			// compute G by the monotone functional iteration — robust where
+			// quadratic methods degenerate — and convert to R through a
+			// diagonally regularized final system.
+			r, cert = try(rungShifted, func() (*matrix.Dense, int, error) {
+				e0, e1, e2, se0, _ := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, shiftedMargin)
+				defer ws.Put(e0, e1, e2)
+				sopts := opts
+				sopts.MaxIter = opts.MaxIter * 10
+				g, it, err := functionalIterationG(e0, e1, e2, se0, ws, sopts)
+				if err != nil {
+					return nil, it, err
+				}
+				rr, err := rFromG(id, e0, se0, e1, g, ws, true)
+				return rr, it, err
+			})
+		}
+	}
+	ws.Put(id, d0, d1, d2)
+	if r == nil {
+		return nil, nil, ladderFailure(iters, rungs)
+	}
+	if cert != nil {
+		cert.Path = path
+		cert.Iterations = iters
+	}
+	return r, cert, nil
+}
+
+// ladderFailure wraps every rung's error into one typed failure: kind
+// ErrNumericContaminated if any rung died of contamination, otherwise
+// ErrNotConverged (the retryable kind).
+func ladderFailure(iters int, rungs []error) error {
+	joined := errors.Join(rungs...)
+	kind := certify.ErrNotConverged
+	if errors.Is(joined, certify.ErrNumericContaminated) {
+		kind = certify.ErrNumericContaminated
+	}
+	return &certify.Failure{Kind: kind, Stage: "qbd.rmatrix", Iterations: iters, Err: joined}
+}
+
+// classifyRungErr maps a rung's raw error onto the taxonomy for the path
+// log: matrix.ErrNoConverge → not-converged, singular systems →
+// singular-boundary, anything already typed keeps its kind.
+func classifyRungErr(err error) error {
+	if errors.Is(err, matrix.ErrNoConverge) {
+		return certify.ErrNotConverged
+	}
+	if errors.Is(err, matrix.ErrSingular) {
+		return certify.ErrSingularBoundary
+	}
+	return certify.Classify(err, certify.ErrNotConverged)
+}
+
+// certifyRWS builds the R-level certificate: finiteness, the relative
+// fixed-point residual ‖A₀ + R·A₁ + R²·A₂‖∞ / (‖A₀‖∞+‖A₁‖∞+‖A₂‖∞), and
+// the Gelfand bound on sp(R). All scratch comes from ws; the arithmetic
+// matches ResidualR term for term.
+func certifyRWS(r, a0, a1, a2 *matrix.Dense, tol certify.Tolerances, ws *matrix.Workspace) *certify.Certificate {
+	c := &certify.Certificate{Tol: tol, Finite: r.Finite()}
+	if !c.Finite {
+		c.Residual = math.Inf(1)
+		return c
+	}
+	n := r.Rows()
+	scale := a0.InfNorm() + a1.InfNorm() + a2.InfNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	t1, t2, t3 := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
+	matrix.MulTo(t1, r, a1)
+	matrix.AddTo(t1, a0, t1)  // a0 + r·a1
+	matrix.MulTo(t2, r, r)    // r²
+	matrix.MulTo(t3, t2, a2)  // r²·a2
+	matrix.AddTo(t1, t1, t3)  // (a0 + r·a1) + r²·a2
+	c.Residual = t1.InfNorm() / scale
+	ws.Put(t1, t2, t3)
+	c.SpectralRadius = matrix.SpectralRadiusUpperBoundWS(r, 40, ws)
+	return c
+}
+
+// CertifyR returns the R-level certificate for an externally computed R
+// against the blocks of its defining equation, judged at tol (zero-value
+// means defaults). Exposed for the fuzz harness and cross-checks.
+func CertifyR(r, a0, a1, a2 *matrix.Dense, tol certify.Tolerances) *certify.Certificate {
+	if tol == (certify.Tolerances{}) {
+		tol = certify.DefaultTolerances()
+	}
+	return certifyRWS(r, a0, a1, a2, tol, matrix.NewWorkspace())
+}
+
 // uniformizeBlocks maps CTMC blocks to DTMC blocks Dk with
-// D0 = A0/c, D1 = A1/c + I, D2 = A2/c for c ≥ max exit rate. The dense
-// blocks come from the workspace; sparse forms are scaled alongside when
-// the caller certified them (Sparse.Scaled drops exact zeros, so the CSR
-// pattern always matches the dense non-zero pattern).
-func uniformizeBlocks(ws *matrix.Workspace, a0, a1, a2 *matrix.Dense, sa0, sa2 *matrix.Sparse) (d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse) {
+// D0 = A0/c, D1 = A1/c + I, D2 = A2/c for c ≥ max exit rate (margin
+// controls the inflation above it). The dense blocks come from the
+// workspace; sparse forms are scaled alongside when the caller certified
+// them (Sparse.Scaled drops exact zeros, so the CSR pattern always
+// matches the dense non-zero pattern).
+func uniformizeBlocks(ws *matrix.Workspace, a0, a1, a2 *matrix.Dense, sa0, sa2 *matrix.Sparse, margin float64) (d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse) {
 	n := a1.Rows()
 	var c float64
 	for i := 0; i < n; i++ {
@@ -87,7 +286,7 @@ func uniformizeBlocks(ws *matrix.Workspace, a0, a1, a2 *matrix.Dense, sa0, sa2 *
 			c = r
 		}
 	}
-	c *= 1.0000001
+	c *= margin
 	d0 = matrix.ScaledTo(ws.Get(n, n), 1/c, a0)
 	d1 = matrix.ScaledTo(ws.Get(n, n), 1/c, a1)
 	for i := 0; i < n; i++ {
@@ -105,16 +304,16 @@ func uniformizeBlocks(ws *matrix.Workspace, a0, a1, a2 *matrix.Dense, sa0, sa2 *
 
 // logReductionG is the Latouche–Ramaswami iteration: quadratic convergence
 // in the number of levels explored (level 2ᵏ after k steps). It returns a
-// fresh copy of G (first-passage to the level below); all interior scratch
-// comes from ws.
-func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
+// fresh copy of G (first-passage to the level below) plus the iteration
+// count; all interior scratch comes from ws.
+func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	m := matrix.DiffTo(ws.Get(n, n), id, d1)
 	lu := ws.GetLU(n)
 	if err := lu.Reset(m); err != nil {
 		ws.Put(m)
 		ws.PutLU(lu)
-		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
+		return nil, 0, fmt.Errorf("qbd: I − D₁ singular: %w", err)
 	}
 	base := ws.Get(n, n)
 	lu.InverseTo(base)
@@ -146,7 +345,7 @@ func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *ma
 		matrix.DiffTo(m, id, u)
 		if err := lu.Reset(m); err != nil {
 			cleanup()
-			return nil, fmt.Errorf("qbd: logarithmic reduction stalled: %w", err)
+			return nil, iter, fmt.Errorf("qbd: logarithmic reduction stalled: %w", err)
 		}
 		lu.InverseTo(inv)
 		matrix.MulTo(prod, h, h)
@@ -162,24 +361,29 @@ func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *ma
 		if t.MaxAbs() < opts.Tol {
 			out := g.Clone()
 			cleanup()
-			return out, nil
+			return out, iter + 1, nil
 		}
 	}
 	cleanup()
-	return nil, matrix.ErrNoConverge
+	return nil, opts.MaxIter, matrix.ErrNoConverge
 }
 
 // logarithmicReductionR computes G by logarithmic reduction and converts it
 // to R = D₀·(I − D₁ − D₀·G)⁻¹.
-func logarithmicReductionR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
-	g, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
+func logarithmicReductionR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+	g, iters, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
 	if err != nil {
-		return nil, err
+		return nil, iters, err
 	}
-	return rFromG(id, d0, sd0, d1, g, ws)
+	r, err := rFromG(id, d0, sd0, d1, g, ws, false)
+	return r, iters, err
 }
 
-func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *matrix.Workspace) (*matrix.Dense, error) {
+// rFromG converts G to R = D₀·(I − D₁ − D₀·G)⁻¹. With regularize set, a
+// singular system is retried once with a small diagonal perturbation
+// ε·‖·‖∞ — the regularized fallback rung's last resort (the resulting R
+// still has to pass residual certification to be accepted).
+func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *matrix.Workspace, regularize bool) (*matrix.Dense, error) {
 	n := d1.Rows()
 	m := ws.Get(n, n) // D₀·G, then D₁ + D₀·G, then I − (D₁ + D₀·G)
 	if sd0 != nil {
@@ -190,7 +394,15 @@ func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *m
 	matrix.AddTo(m, d1, m)
 	matrix.DiffTo(m, id, m)
 	lu := ws.GetLU(n)
-	if err := lu.Reset(m); err != nil {
+	err := lu.Reset(m)
+	if err != nil && regularize {
+		eps := 1e-10 * (1 + m.InfNorm())
+		for i := 0; i < n; i++ {
+			m.Add(i, i, eps)
+		}
+		err = lu.Reset(m)
+	}
+	if err != nil {
 		ws.Put(m)
 		ws.PutLU(lu)
 		return nil, fmt.Errorf("qbd: I − D₁ − D₀G singular: %w", err)
@@ -210,14 +422,14 @@ func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *m
 
 // successiveSubstitution iterates R ← (D₀ + R²·D₂)·(I − D₁)⁻¹ from R = 0.
 // Linear convergence; kept as a robust fallback.
-func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
+func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	m := matrix.DiffTo(ws.Get(n, n), id, d1)
 	lu := ws.GetLU(n)
 	if err := lu.Reset(m); err != nil {
 		ws.Put(m)
 		ws.PutLU(lu)
-		return nil, fmt.Errorf("qbd: I − D₁ singular: %w", err)
+		return nil, 0, fmt.Errorf("qbd: I − D₁ singular: %w", err)
 	}
 	inv := ws.Get(n, n)
 	lu.InverseTo(inv)
@@ -240,11 +452,11 @@ func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws
 		r.CopyFrom(next)
 		if diff < opts.Tol {
 			cleanup()
-			return r, nil
+			return r, iter + 1, nil
 		}
 	}
 	cleanup()
-	return nil, matrix.ErrNoConverge
+	return nil, opts.MaxIter, matrix.ErrNoConverge
 }
 
 // GMatrix computes the minimal non-negative solution of
@@ -259,19 +471,25 @@ func GMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, erro
 	}
 	ws := opts.workspace()
 	id := ws.Get(n, n).SetIdentity()
-	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2)
-	g, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
+	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, uniformizeMargin)
+	g, _, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
 	if err != nil || !gOK(g) {
 		// Functional iteration G ← D₂ + D₁G + D₀G², monotone from 0 and
 		// robust for transient (substochastic-G) chains where logarithmic
-		// reduction can degenerate or produce NaNs.
-		g, err = functionalIterationG(d0, d1, d2, sd0, ws, opts)
+		// reduction can degenerate or produce NaNs. On a double failure the
+		// joined error reports why each rung died.
+		var err2 error
+		g, _, err2 = functionalIterationG(d0, d1, d2, sd0, ws, opts)
+		err = errors.Join(err, err2)
+		if err2 == nil {
+			err = nil
+		}
 	}
 	ws.Put(id, d0, d1, d2)
 	return g, err
 }
 
-func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, error) {
+func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	g := matrix.New(n, n) // freshly allocated: G escapes on success
 	s, gg, q, next := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
@@ -290,11 +508,11 @@ func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matr
 		g.CopyFrom(next)
 		if diff < opts.Tol {
 			cleanup()
-			return g, nil
+			return g, iter + 1, nil
 		}
 	}
 	cleanup()
-	return nil, matrix.ErrNoConverge
+	return nil, opts.MaxIter * 100, matrix.ErrNoConverge
 }
 
 func gOK(g *matrix.Dense) bool {

@@ -2,7 +2,9 @@ package qbd
 
 import (
 	"fmt"
+	"math"
 
+	"repro/internal/certify"
 	"repro/internal/matrix"
 )
 
@@ -16,20 +18,30 @@ type Solution struct {
 	Boundary [][]float64 // π_0 .. π_{b-1}
 	PiB      []float64   // π_b, first repeating level
 
-	sumR   *matrix.Dense // (I−R)⁻¹, cached
-	sumR2  *matrix.Dense // (I−R)⁻², cached
-	levels [][]float64   // π_b·Rᵏ memo; levels[0] aliases PiB
+	// Cert is the post-hoc validity record: fixed-point residual of R,
+	// spectral-radius bound, probability-mass and boundary-balance checks,
+	// plus the fallback path that produced R. Every Solution returned
+	// without error carries a verified certificate.
+	Cert *certify.Certificate
+
+	sumR         *matrix.Dense // (I−R)⁻¹, cached
+	sumR2        *matrix.Dense // (I−R)⁻², cached
+	levels       [][]float64   // π_b·Rᵏ memo; levels[0] aliases PiB
+	boundaryCond float64       // cond∞ estimate of the boundary system
 }
 
 // Solve computes the stationary distribution. It verifies the drift
-// condition first and returns ErrUnstable when it fails.
+// condition first and returns ErrUnstable when it fails; every other
+// failure is a typed *certify.Failure locating the stage that died. On
+// success the result has been certified — residual, mass, balance — and
+// carries the certificate.
 func Solve(p *Process, opts RMatrixOptions) (*Solution, error) {
 	if err := p.Validate(1e-8); err != nil {
-		return nil, err
+		return nil, &certify.Failure{Kind: certify.ErrConfig, Stage: "qbd.validate", Err: err}
 	}
 	stable, err := p.Stable()
 	if err != nil {
-		return nil, err
+		return nil, &certify.Failure{Kind: certify.ErrConfig, Stage: "qbd.drift", Err: err}
 	}
 	if !stable {
 		return nil, ErrUnstable
@@ -42,18 +54,82 @@ func Solve(p *Process, opts RMatrixOptions) (*Solution, error) {
 	if opts.SparseA2 == nil {
 		opts.SparseA2 = p.SparseA2
 	}
+	opts = opts.withDefaults()
 	ws := opts.workspace()
 	opts.Workspace = ws
-	r, err := RMatrix(p.A0, p.A1, p.A2, opts)
+	tol := opts.certTol()
+	r, cert, err := rMatrixLadder(p.A0, p.A1, p.A2, opts, &tol)
 	if err != nil {
 		return nil, err
 	}
 	// Gelfand bound: rigorous, and immune to the eigenvalue clustering
-	// that can stall power iteration.
-	if sp := matrix.SpectralRadiusUpperBoundWS(r, 40, ws); sp >= 1 {
+	// that can stall power iteration. The ladder already computed it into
+	// the certificate (same call, same bits).
+	if cert.SpectralRadius >= 1 {
 		return nil, ErrUnstable
 	}
-	return solveBoundary(p, r, opts.SparseA2, ws)
+	sol, err := solveBoundary(p, r, opts.SparseA2, ws)
+	if err != nil {
+		return nil, &certify.Failure{Kind: certify.ErrSingularBoundary, Stage: "qbd.boundary", Err: err}
+	}
+	completeCertificate(cert, p, sol)
+	sol.Cert = cert
+	if verr := cert.Verify(); verr != nil {
+		return nil, verr
+	}
+	return sol, nil
+}
+
+// completeCertificate fills the boundary-level fields of an R-level
+// certificate from the solved stationary vectors: total mass, most
+// negative entry, balance residual at the first repeating level, the
+// boundary system's condition estimate, and full finiteness.
+func completeCertificate(cert *certify.Certificate, p *Process, sol *Solution) {
+	cert.TotalMass = sol.TotalMass()
+	cert.BoundaryCond = sol.boundaryCond
+	min := 0.0
+	finite := cert.Finite
+	scan := func(v []float64) {
+		if !matrix.FiniteVec(v) {
+			finite = false
+		}
+		for _, x := range v {
+			if x < min {
+				min = x
+			}
+		}
+	}
+	for _, v := range sol.Boundary {
+		scan(v)
+	}
+	scan(sol.PiB)
+	cert.MinEntry = min
+	cert.Finite = finite
+	cert.BoundaryResidual = boundaryResidual(p, sol)
+}
+
+// boundaryResidual checks global balance at the first repeating level b —
+// the one equation set that exercises the boundary vectors, R, and the
+// folded tail together: ‖π_{b−1}·Up + π_b·A₁ + π_{b+1}·A₂‖∞, relative to
+// the generator's rate scale ‖A₁‖∞. A healthy solve leaves this at
+// roundoff level; a contaminated or mass-losing one does not.
+func boundaryResidual(p *Process, sol *Solution) float64 {
+	b := p.Boundary()
+	local := matrix.VecMul(sol.PiB, p.A1)
+	prev := sol.Boundary[b-1] // π_{b−1}: last boundary vector (b ≥ 1 by construction)
+	up := matrix.VecMul(prev, p.Up[b-1])
+	down := matrix.VecMul(sol.repeatLevel(1), p.A2)
+	scale := p.A1.InfNorm()
+	if scale == 0 {
+		scale = 1
+	}
+	var mx float64
+	for i := range local {
+		if v := math.Abs(local[i] + up[i] + down[i]); v > mx {
+			mx = v
+		}
+	}
+	return mx / scale
 }
 
 // solveBoundary assembles the finite linear system of paper eqs. (21)–(22)
@@ -124,15 +200,19 @@ func solveBoundary(p *Process, r *matrix.Dense, sa2 *matrix.Sparse, ws *matrix.W
 	lu := ws.GetLU(total)
 	luErr := lu.Reset(mt)
 	var x []float64
+	var cond float64
 	if luErr == nil {
 		x = lu.SolveVec(rhs)
+		// Hager–Higham estimate from the factorization already in hand;
+		// read-only on the LU, so x is untouched.
+		cond = lu.CondInfEstimate(mt.InfNorm())
 	}
 	ws.Put(m, mt)
 	ws.PutLU(lu)
 	if luErr != nil {
 		return nil, fmt.Errorf("qbd: boundary system singular (reducible boundary?): %w", luErr)
 	}
-	sol := &Solution{Process: p, R: r, PiB: x[offs[b] : offs[b]+n], sumR: sumR}
+	sol := &Solution{Process: p, R: r, PiB: x[offs[b] : offs[b]+n], sumR: sumR, boundaryCond: cond}
 	for i := 0; i < b; i++ {
 		sol.Boundary = append(sol.Boundary, x[offs[i]:offs[i]+dims[i]])
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -40,13 +41,46 @@ func (r *Run) WriteArtifacts(dir string) error {
 	return os.WriteFile(filepath.Join(dir, "results.csv"), []byte(r.ResultsCSV()), 0o644)
 }
 
+// sanitized returns the result as written to artifacts: any non-finite
+// value is dropped (JSON has no NaN/Inf token, and a CSV "NaN" silently
+// poisons downstream tooling) and noted in Err. The runner's value guard
+// makes this unreachable in practice; the writer enforces it regardless,
+// so artifact well-formedness does not depend on every producer's
+// discipline.
+func (tr *TrialResult) sanitized() TrialResult {
+	clean := *tr
+	var dropped []string
+	for k, v := range tr.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			dropped = append(dropped, k)
+		}
+	}
+	if len(dropped) == 0 {
+		return clean
+	}
+	sort.Strings(dropped)
+	clean.Values = make(map[string]float64, len(tr.Values))
+	for k, v := range tr.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			clean.Values[k] = v
+		}
+	}
+	note := "non-finite values dropped: " + strings.Join(dropped, " ")
+	if clean.Err != "" {
+		note = clean.Err + "; " + note
+	}
+	clean.Err = note
+	return clean
+}
+
 // ResultsJSONL renders the deterministic results artifact: one JSON
 // object per trial, in trial order.
 func (r *Run) ResultsJSONL() ([]byte, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	for i := range r.Results {
-		if err := enc.Encode(&r.Results[i]); err != nil {
+		clean := r.Results[i].sanitized()
+		if err := enc.Encode(&clean); err != nil {
 			return nil, err
 		}
 	}
@@ -81,7 +115,8 @@ func (r *Run) ResultsCSV() string {
 		b.WriteString(c)
 	}
 	b.WriteString(",err\n")
-	for _, res := range r.Results {
+	for i := range r.Results {
+		res := r.Results[i].sanitized()
 		fmt.Fprintf(&b, "%d,%s", res.Index, res.Method)
 		for _, c := range points {
 			b.WriteByte(',')
@@ -108,8 +143,8 @@ func (r *Run) Summary() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sweep %q: %d trials on %d workers in %s (%.1f trials/s)\n",
 		m.Name, m.Trials, m.Workers, fmtMillis(m.WallMillis), m.TrialsPerSec)
-	fmt.Fprintf(&b, "  executed %d, cache hits %d (%.0f%%), errors %d, panics %d, retries %d, canceled %d\n",
-		m.Executed, m.CacheHits, 100*m.CacheHitRate, m.Errors, m.Panics, m.Retries, m.Canceled)
+	fmt.Fprintf(&b, "  executed %d, cache hits %d (%.0f%%), errors %d, degraded %d, panics %d, retries %d, canceled %d\n",
+		m.Executed, m.CacheHits, 100*m.CacheHitRate, m.Errors, m.Degraded, m.Panics, m.Retries, m.Canceled)
 	return b.String()
 }
 

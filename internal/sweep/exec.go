@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/certify"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -18,14 +19,41 @@ const (
 // boundary, so sweeps that cross the boundary still produce full grids.
 const Unstable = -1
 
-// execute runs one trial attempt and returns its named result values.
-// converged is false only for analytic fixed points that hit their
-// iteration budget — the runner retries those with an escalated budget.
-// Declared as a variable so tests can stub the executor.
-var execute = func(t Trial) (values map[string]float64, converged bool, err error) {
+// ExecPolicy tells one trial attempt how to treat per-class solver
+// failures. The runner sets FinalAttempt once the retry budget is spent,
+// at which point an attempt that would otherwise error may degrade
+// failed classes to the discrete-event simulator.
+type ExecPolicy struct {
+	// Strict turns every per-class failure into a trial error — no
+	// degradation, ever.
+	Strict bool
+	// AllowDegraded permits falling back to simulation for classes whose
+	// analytic solve failed certification.
+	AllowDegraded bool
+	// FinalAttempt is true when no retries remain: retryable failures
+	// should degrade (if allowed) rather than error.
+	FinalAttempt bool
+}
+
+// execOutcome is one attempt's result: the named values, whether the
+// analytic fixed point converged, and whether any class value came from
+// the simulation fallback instead of a certified analytic solve.
+type execOutcome struct {
+	values    map[string]float64
+	converged bool
+	degraded  bool
+}
+
+// execute runs one trial attempt. Failures are typed: configuration
+// errors (bad scenario, unknown method) are certify.ErrConfig and never
+// retried; fixed-point non-convergence is certify.ErrNotConverged and
+// retried with an escalated budget; numeric contamination is
+// certify.ErrNumericContaminated. Declared as a variable so tests can
+// stub the executor.
+var execute = func(t Trial, pol ExecPolicy) (execOutcome, error) {
 	m, err := t.Scenario.Model()
 	if err != nil {
-		return nil, true, err
+		return execOutcome{}, &certify.Failure{Kind: certify.ErrConfig, Stage: "sweep.model", Err: err}
 	}
 	switch t.Method {
 	case MethodAnalytic, MethodHeavy:
@@ -33,11 +61,33 @@ var execute = func(t Trial) (values map[string]float64, converged bool, err erro
 		if t.Method == MethodHeavy {
 			solve = core.SolveHeavyTraffic
 		}
-		res, err := solve(m, t.Solve.coreOptions())
-		if err != nil && !errors.Is(err, core.ErrAllUnstable) {
-			return nil, true, err
+		res, serr := solve(m, t.Solve.coreOptions())
+		if serr != nil && !errors.Is(serr, core.ErrAllUnstable) {
+			if res == nil || len(failedClasses(res)) == 0 {
+				// Whole-solve failure with no per-class result to salvage.
+				return execOutcome{}, serr
+			}
 		}
-		values = make(map[string]float64, 2*len(res.Classes)+3)
+		if failed := failedClasses(res); len(failed) > 0 {
+			ferr := serr
+			if ferr == nil || errors.Is(ferr, core.ErrAllUnstable) {
+				errs := make([]error, 0, len(failed))
+				for _, p := range failed {
+					errs = append(errs, fmt.Errorf("class %d: %w", p, res.Classes[p].Err))
+				}
+				ferr = errors.Join(errs...)
+			}
+			if pol.Strict || !pol.AllowDegraded {
+				return execOutcome{}, ferr
+			}
+			if !pol.FinalAttempt && errors.Is(ferr, certify.ErrNotConverged) {
+				// Retryable: let the runner escalate the budget first;
+				// degradation is the last rung, not the first.
+				return execOutcome{}, ferr
+			}
+			return degradeToSim(t, m, res, failed)
+		}
+		values := make(map[string]float64, 2*len(res.Classes)+3)
 		for p, cr := range res.Classes {
 			if !cr.Stable {
 				values[fmt.Sprintf("N%d", p)] = Unstable
@@ -50,45 +100,115 @@ var execute = func(t Trial) (values map[string]float64, converged bool, err erro
 		values["totalN"] = res.TotalN
 		values["iterations"] = float64(res.Iterations)
 		values["meanCycle"] = res.MeanCycle
-		return values, res.Converged || t.Method == MethodHeavy, nil
+		return execOutcome{values: values, converged: res.Converged || t.Method == MethodHeavy}, nil
 
 	case MethodSim:
-		cfg := sim.Config{
-			Model: m, Seed: t.Seed,
-			Warmup: t.Sim.Warmup, Horizon: t.Sim.Horizon,
-			Batches: t.Sim.Batches, LocalSwitch: t.Sim.LocalSwitch,
-		}
-		if cfg.Warmup == 0 {
-			cfg.Warmup = defaultWarmup
-		}
-		if cfg.Horizon == 0 {
-			cfg.Horizon = defaultHorizon
-		}
-		res, err := sim.RunGang(cfg)
+		res, err := sim.RunGang(simConfig(t, m))
 		if err != nil {
-			return nil, true, err
+			return execOutcome{}, &certify.Failure{Kind: certify.ErrConfig, Stage: "sweep.sim", Err: err}
 		}
-		values = make(map[string]float64, 2*len(res.Classes)+1)
+		values := make(map[string]float64, 2*len(res.Classes)+1)
 		for p, cm := range res.Classes {
 			values[fmt.Sprintf("simN%d", p)] = cm.MeanJobs
 			values[fmt.Sprintf("ci%d", p)] = cm.MeanJobsCI
 			values[fmt.Sprintf("simT%d", p)] = cm.MeanResponse
 		}
 		values["totalSimN"] = res.TotalMeanJobs
-		return values, true, nil
+		return execOutcome{values: values, converged: true}, nil
 
 	case MethodExact2:
 		res, err := core.SolveExactTwoClass(m, core.ExactTwoClassOptions{
 			Truncation: t.Solve.ExactTruncation,
 		})
 		if err != nil {
-			return nil, true, err
+			return execOutcome{}, &certify.Failure{
+				Kind:  certify.Classify(err, certify.ErrNumericContaminated),
+				Stage: "sweep.exact2",
+				Err:   err,
+			}
 		}
-		return map[string]float64{
+		return execOutcome{values: map[string]float64{
 			"N0": res.N[0], "N1": res.N[1],
 			"T0": res.T[0], "T1": res.T[1],
 			"residual": res.Residual,
-		}, true, nil
+		}, converged: true}, nil
 	}
-	return nil, true, fmt.Errorf("sweep: unknown method %q", t.Method)
+	return execOutcome{}, &certify.Failure{Kind: certify.ErrConfig, Stage: "sweep.method",
+		Err: fmt.Errorf("sweep: unknown method %q", t.Method)}
+}
+
+// failedClasses returns the indices of classes whose solve carried a
+// typed failure.
+func failedClasses(res *core.Result) []int {
+	if res == nil {
+		return nil
+	}
+	var failed []int
+	for p := range res.Classes {
+		if res.Classes[p].Err != nil {
+			failed = append(failed, p)
+		}
+	}
+	return failed
+}
+
+func simConfig(t Trial, m *core.Model) sim.Config {
+	cfg := sim.Config{
+		Model: m, Seed: t.Seed,
+		Warmup: t.Sim.Warmup, Horizon: t.Sim.Horizon,
+		Batches: t.Sim.Batches, LocalSwitch: t.Sim.LocalSwitch,
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = defaultWarmup
+	}
+	if cfg.Horizon == 0 {
+		cfg.Horizon = defaultHorizon
+	}
+	return cfg
+}
+
+// degradeToSim is the ladder's bottom rung: one simulation run replaces
+// the N/T values of exactly the classes whose analytic solve failed;
+// healthy classes keep their certified analytic values. The outcome is
+// flagged degraded — the runner records it as such and never caches it,
+// so a later run gets another chance at a fully analytic result.
+func degradeToSim(t Trial, m *core.Model, res *core.Result, failed []int) (execOutcome, error) {
+	sres, err := sim.RunGang(simConfig(t, m))
+	if err != nil {
+		return execOutcome{}, &certify.Failure{Kind: certify.ErrNumericContaminated, Stage: "sweep.degrade",
+			Err: errors.Join(err, classErr(res, failed))}
+	}
+	values := make(map[string]float64, 2*len(res.Classes)+3)
+	total := 0.0
+	isFailed := make(map[int]bool, len(failed))
+	for _, p := range failed {
+		isFailed[p] = true
+	}
+	for p, cr := range res.Classes {
+		switch {
+		case isFailed[p]:
+			values[fmt.Sprintf("N%d", p)] = sres.Classes[p].MeanJobs
+			values[fmt.Sprintf("T%d", p)] = sres.Classes[p].MeanResponse
+			total += sres.Classes[p].MeanJobs
+		case cr.Stable:
+			values[fmt.Sprintf("N%d", p)] = cr.N
+			values[fmt.Sprintf("T%d", p)] = cr.T
+			total += cr.N
+		default:
+			values[fmt.Sprintf("N%d", p)] = Unstable
+			values[fmt.Sprintf("T%d", p)] = Unstable
+		}
+	}
+	values["totalN"] = total
+	values["iterations"] = float64(res.Iterations)
+	values["meanCycle"] = res.MeanCycle
+	return execOutcome{values: values, converged: true, degraded: true}, nil
+}
+
+func classErr(res *core.Result, failed []int) error {
+	errs := make([]error, 0, len(failed))
+	for _, p := range failed {
+		errs = append(errs, fmt.Errorf("class %d: %w", p, res.Classes[p].Err))
+	}
+	return errors.Join(errs...)
 }

@@ -2,11 +2,16 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/certify"
+	"repro/internal/certify/faultinject"
 )
 
 // Options control sweep execution.
@@ -28,6 +33,14 @@ type Options struct {
 	// Progress, when non-nil, is called after every finished trial with
 	// the completion count (calls are serialized).
 	Progress func(done, total int, r TrialResult)
+	// Strict makes every certification failure a hard trial error: no
+	// degradation to simulation, ever.
+	Strict bool
+	// AllowDegraded lets an analytic trial whose retry budget is spent
+	// fall back to the discrete-event simulator for the failed classes.
+	// Degraded results are flagged in the result and manifest and are
+	// never cached.
+	AllowDegraded bool
 }
 
 func (o Options) withDefaults() Options {
@@ -47,6 +60,7 @@ func (o Options) withDefaults() Options {
 const (
 	StatusOK       = "ok"
 	StatusCached   = "cached"
+	StatusDegraded = "degraded"
 	StatusError    = "error"
 	StatusPanic    = "panic"
 	StatusCanceled = "canceled"
@@ -63,10 +77,15 @@ type TrialResult struct {
 	Point  map[string]float64 `json:"point,omitempty"`
 	Values map[string]float64 `json:"values,omitempty"`
 	Err    string             `json:"err,omitempty"`
+	// Degraded marks values produced (partly) by the simulation fallback
+	// instead of a certified analytic solve. omitempty keeps healthy
+	// artifacts byte-identical to pre-certification runs.
+	Degraded bool `json:"degraded,omitempty"`
 
 	Status   string        `json:"-"`
 	Attempts int           `json:"-"`
 	Elapsed  time.Duration `json:"-"`
+	Kind     string        `json:"-"` // failure-taxonomy label, manifest-only
 }
 
 // TrialStatus is the manifest's per-trial execution record.
@@ -77,6 +96,9 @@ type TrialStatus struct {
 	Attempts int    `json:"attempts,omitempty"`
 	Millis   int64  `json:"millis"`
 	Err      string `json:"err,omitempty"`
+	// Kind is the failure-taxonomy label of the trial's error ("config",
+	// "numeric", "not-converged", ...), empty for healthy trials.
+	Kind string `json:"kind,omitempty"`
 }
 
 // Manifest summarizes a run for reproducibility audits: what was asked,
@@ -91,6 +113,7 @@ type Manifest struct {
 	CacheHits    int           `json:"cacheHits"`
 	CacheHitRate float64       `json:"cacheHitRate"`
 	Errors       int           `json:"errors"`
+	Degraded     int           `json:"degraded,omitempty"`
 	Panics       int           `json:"panics"`
 	Retries      int           `json:"retries"`
 	Canceled     int           `json:"canceled"`
@@ -192,30 +215,54 @@ func runOne(t Trial, index int, opts Options) (r TrialResult) {
 		}
 	}
 
+	// Escalate the fixed-point budget before going again: some grid
+	// points near the stability boundary converge slowly.
+	escalate := func() {
+		if t.Solve.MaxIterations == 0 {
+			t.Solve.MaxIterations = 200 // core's default
+		}
+		t.Solve.MaxIterations *= opts.RetryScale
+	}
 	for attempt := 1; ; attempt++ {
 		r.Attempts = attempt
-		values, converged, err := attemptTrial(t)
+		pol := ExecPolicy{
+			Strict:        opts.Strict,
+			AllowDegraded: opts.AllowDegraded,
+			FinalAttempt:  attempt > opts.MaxRetries,
+		}
+		out, err := attemptTrial(t, pol)
+		retryable := t.Method == MethodAnalytic && attempt <= opts.MaxRetries
 		switch {
 		case err == errPanic:
 			r.Status = StatusPanic
 			r.Err = fmt.Sprintf("panic in trial %d (%s)", index, t.Method)
+			r.Kind = "panic"
 			return r
+		case err != nil && retryable && errors.Is(err, certify.ErrNotConverged):
+			// A typed non-convergence is the one retryable failure kind.
+			escalate()
+			continue
 		case err != nil:
 			r.Status = StatusError
 			r.Err = err.Error()
+			r.Kind = certify.KindLabel(err)
 			return r
-		case !converged && t.Method == MethodAnalytic && attempt <= opts.MaxRetries:
-			// Escalate the fixed-point budget and go again: some grid
-			// points near the stability boundary converge slowly.
-			if t.Solve.MaxIterations == 0 {
-				t.Solve.MaxIterations = 200 // core's default
-			}
-			t.Solve.MaxIterations *= opts.RetryScale
+		case !out.converged && retryable:
+			escalate()
 			continue
 		}
-		r.Values, r.Status = values, StatusOK
+		r.Values = out.values
+		if out.degraded {
+			// Degraded values are second-class: flagged in the result and
+			// manifest, and never cached — a future run with a healthier
+			// numeric path gets to replace them with a certified solve.
+			r.Status = StatusDegraded
+			r.Degraded = true
+			return r
+		}
+		r.Status = StatusOK
 		if opts.Cache != nil {
-			if cerr := opts.Cache.Put(r.Key, values); cerr != nil {
+			if cerr := opts.Cache.Put(r.Key, out.values); cerr != nil {
 				r.Err = cerr.Error() // persisted result lost, values intact
 			}
 		}
@@ -225,14 +272,34 @@ func runOne(t Trial, index int, opts Options) (r TrialResult) {
 
 var errPanic = fmt.Errorf("sweep: trial panicked")
 
-// attemptTrial runs one execute attempt with panic isolation.
-func attemptTrial(t Trial) (values map[string]float64, converged bool, err error) {
+// attemptTrial runs one execute attempt with panic isolation, then guards
+// the outgoing values: a NaN or ±Inf must never reach the artifacts or
+// the cache, whatever produced it.
+func attemptTrial(t Trial, pol ExecPolicy) (out execOutcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
-			values, converged, err = nil, true, errPanic
+			out, err = execOutcome{}, errPanic
 		}
 	}()
-	return execute(t)
+	out, err = execute(t, pol)
+	if err != nil {
+		return out, err
+	}
+	// Fault-injection point: tests corrupt or panic here to prove the
+	// value guard and worker isolation hold at the last gate.
+	if ferr := faultinject.Fire("sweep.values", out.values); ferr != nil {
+		return execOutcome{}, ferr
+	}
+	for k, v := range out.values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return execOutcome{}, &certify.Failure{
+				Kind:  certify.ErrNumericContaminated,
+				Stage: "sweep.values",
+				Err:   fmt.Errorf("value %q = %v", k, v),
+			}
+		}
+	}
+	return out, nil
 }
 
 func buildManifest(opts Options, results []TrialResult, wall time.Duration) Manifest {
@@ -251,6 +318,9 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 			m.CacheHits++
 		case StatusOK:
 			m.Executed++
+		case StatusDegraded:
+			m.Executed++
+			m.Degraded++
 		case StatusError:
 			m.Executed++
 			m.Errors++
@@ -266,6 +336,7 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 		m.PerTrial = append(m.PerTrial, TrialStatus{
 			Index: r.Index, Key: r.Key, Status: r.Status,
 			Attempts: r.Attempts, Millis: r.Elapsed.Milliseconds(), Err: r.Err,
+			Kind: r.Kind,
 		})
 	}
 	if m.Trials > 0 {

@@ -280,11 +280,11 @@ func TestCacheSurvivesCorruptTail(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	orig := execute
 	defer func() { execute = orig }()
-	execute = func(tr Trial) (map[string]float64, bool, error) {
+	execute = func(tr Trial, pol ExecPolicy) (execOutcome, error) {
 		if tr.Point["i"] == 1 {
 			panic("boom")
 		}
-		return map[string]float64{"v": tr.Point["i"]}, true, nil
+		return execOutcome{values: map[string]float64{"v": tr.Point["i"]}, converged: true}, nil
 	}
 	trials := []Trial{
 		{Scenario: testSpec().Base, Method: MethodAnalytic, Point: map[string]float64{"i": 0}},
@@ -310,10 +310,10 @@ func TestRetryEscalatesIterationBudget(t *testing.T) {
 	orig := execute
 	defer func() { execute = orig }()
 	var budgets []int
-	execute = func(tr Trial) (map[string]float64, bool, error) {
+	execute = func(tr Trial, pol ExecPolicy) (execOutcome, error) {
 		budgets = append(budgets, tr.Solve.MaxIterations)
 		// Converge only once the budget has been escalated twice.
-		return map[string]float64{"v": 1}, tr.Solve.MaxIterations >= 3200, nil
+		return execOutcome{values: map[string]float64{"v": 1}, converged: tr.Solve.MaxIterations >= 3200}, nil
 	}
 	trials := []Trial{{Scenario: testSpec().Base, Method: MethodAnalytic}}
 	run, err := RunTrials(context.Background(), trials, Options{Workers: 1})
