@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race ci fuzz-short bench bench-sweep bench-kernel bench-compare
+.PHONY: build vet test race race-full ci fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-compare
 
 build:
 	$(GO) build ./...
@@ -11,8 +11,16 @@ vet:
 test:
 	$(GO) test ./...
 
+# The race pass covers every package except internal/experiments: its
+# figure-grid suite takes ~3 min without the detector and over 40 min
+# with it on a single-CPU machine, and its only concurrency is the
+# internal/sweep worker pool, which is raced directly (here and again in
+# ci's explicit pass). race-full is the opt-in everything-raced run.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m $$($(GO) list ./... | grep -v internal/experiments)
+
+race-full:
+	$(GO) test -race -timeout 90m ./...
 
 # ci is the gate: clean build, vet, and the full suite under the race
 # detector. ./... covers every package, including the kernel-heavy ones
@@ -23,7 +31,7 @@ race:
 # degradation paths, whose hooks and worker pool are the likeliest place
 # for a data race to hide.
 ci: build vet race
-	$(GO) vet ./... && $(GO) test -race ./internal/sweep/ ./internal/certify/
+	$(GO) vet ./... && $(GO) test -race -count 1 ./internal/sweep/ ./internal/certify/ ./internal/core/
 
 # fuzz-short is the certification-soundness smoke: 30 seconds of random
 # QBD generator blocks must never produce a certified-but-invalid R.
@@ -52,6 +60,19 @@ bench-kernel:
 	awk -f scripts/benchjson.awk bench_kernel.out > BENCH_kernel.json
 	rm -f bench_kernel.out
 	cat BENCH_kernel.json
+
+# bench-pipeline regenerates the committed cold-vs-warm staged-pipeline
+# baseline (BENCH_pipeline.json): the 64-trial analytic grid on one
+# worker, solved cold and with warm-started sessions, comparing trials/s
+# and mean R-matrix iterations per QBD solve. -count 3 interleaves the
+# pair; benchjson.awk keeps each benchmark's best run, so a scheduler
+# hiccup in one repetition cannot poison the committed ratio.
+bench-pipeline:
+	$(GO) test -run '^$$' -bench 'BenchmarkPipeline' -benchmem -benchtime 2s -count 3 \
+		./internal/sweep | tee bench_pipeline.out
+	awk -f scripts/benchjson.awk bench_pipeline.out > BENCH_pipeline.json
+	rm -f bench_pipeline.out
+	cat BENCH_pipeline.json
 
 # bench-compare runs the kernel benchmarks fresh and diffs them against
 # the committed BENCH_kernel.json so regressions stand out line by line

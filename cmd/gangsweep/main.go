@@ -65,6 +65,7 @@ func main() {
 		example  = flag.Bool("example", false, "print an example spec and exit")
 		strict   = flag.Bool("strict", false, "treat every certification failure as a hard trial error (no degradation)")
 		degraded = flag.Bool("allow-degraded", false, "after retries, fall back to simulation for classes whose analytic solve failed certification (results flagged degraded, never cached)")
+		warm     = flag.Bool("warm", false, "order trials for locality and warm-start each worker's solves from the previous trial's R matrix (certified; results may differ from a cold run within tolerance, so warm results are never cached)")
 	)
 	flag.Parse()
 	if *strict && *degraded {
@@ -83,7 +84,7 @@ func main() {
 	spec, err := sweep.LoadSpec(*specPath)
 	fail(err)
 
-	opts := sweep.Options{Workers: *parallel, Strict: *strict, AllowDegraded: *degraded}
+	opts := sweep.Options{Workers: *parallel, Strict: *strict, AllowDegraded: *degraded, WarmStart: *warm}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)
 		fail(err)

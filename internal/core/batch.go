@@ -18,6 +18,46 @@ type ClassChain struct {
 	Proc   *qbd.Process
 	space  *classSpace
 	layout levelLayout
+
+	// blocks, for single-arrival chains, are the level blocks the Proc
+	// matrices alias; Refill regenerates their entries in place. Nil for
+	// batched chains, which always rebuild.
+	blocks []classBlocks
+}
+
+// Refill regenerates the chain's generator entries in place for a model
+// whose structure (partitioning and every phase order) matches the one
+// the chain was built for, leaving the state space, block dimensions and
+// matrix storage untouched. It reports false — chain unchanged — when
+// the chain does not support refilling (batched arrivals) or the new
+// model's structure differs, in which case the caller must rebuild. The
+// emission pass is the same deterministic sequence as a fresh build, so
+// a refilled process is bit-for-bit identical to a rebuilt one.
+func (ch *ClassChain) Refill(m *Model, p int, intervisit *phase.Dist) (bool, error) {
+	if ch.blocks == nil {
+		return false, nil
+	}
+	if err := m.Validate(); err != nil {
+		return false, err
+	}
+	if err := validateIntervisit(intervisit); err != nil {
+		return false, err
+	}
+	if !ch.space.rebind(m, p, intervisit) {
+		return false, nil
+	}
+	for i := range ch.blocks {
+		ch.blocks[i].local.Zero()
+		ch.blocks[i].up.Zero()
+		if ch.blocks[i].down != nil {
+			ch.blocks[i].down.Zero()
+		}
+	}
+	fillClassBlocks(ch.space, ch.blocks)
+	if err := certifyClassProcess(ch.Proc); err != nil {
+		return true, err
+	}
+	return true, nil
 }
 
 // levelLayout describes the reblocking.
@@ -33,7 +73,7 @@ type levelLayout struct {
 // batch arrivals) for the given intervisit distribution.
 func BuildClassChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, error) {
 	if m.Classes[p].MaxBatch() == 1 {
-		proc, sp, err := BuildClassProcess(m, p, intervisit)
+		proc, sp, lv, err := buildClassProcess(m, p, intervisit)
 		if err != nil {
 			return nil, err
 		}
@@ -41,6 +81,7 @@ func BuildClassChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, erro
 			Proc:   proc,
 			space:  sp,
 			layout: levelLayout{width: 1, c: sp.servers, n: sp.dim(sp.servers)},
+			blocks: lv,
 		}, nil
 	}
 	return buildBatchedChain(m, p, intervisit)
@@ -57,11 +98,8 @@ func buildBatchedChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, er
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	if err := intervisit.Validate(); err != nil {
-		return nil, fmt.Errorf("core: intervisit distribution: %w", err)
-	}
-	if intervisit.AtomAtZero() > 1e-9 {
-		return nil, fmt.Errorf("core: intervisit distribution has an atom at zero")
+	if err := validateIntervisit(intervisit); err != nil {
+		return nil, err
 	}
 	sp := newClassSpace(m, p, intervisit)
 	w := sp.maxBatch

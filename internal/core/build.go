@@ -27,23 +27,31 @@ import (
 //   - at level 0 the intervisit period regenerates without visiting
 //     quantum phases (the scheduler skips an empty class).
 func BuildClassProcess(m *Model, p int, intervisit *phase.Dist) (*qbd.Process, *classSpace, error) {
+	proc, sp, _, err := buildClassProcess(m, p, intervisit)
+	return proc, sp, err
+}
+
+// classBlocks are one level's generator blocks during assembly and,
+// retained in ClassChain, the targets of in-place refills.
+type classBlocks struct{ down, local, up *matrix.Dense }
+
+// buildClassProcess is BuildClassProcess plus the level-block slice the
+// assembled Process aliases, so a Session can refill the generator in
+// place on a rates-only model change.
+func buildClassProcess(m *Model, p int, intervisit *phase.Dist) (*qbd.Process, *classSpace, []classBlocks, error) {
 	if err := m.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if p < 0 || p >= len(m.Classes) {
-		return nil, nil, fmt.Errorf("core: class %d outside [0, %d)", p, len(m.Classes))
+		return nil, nil, nil, fmt.Errorf("core: class %d outside [0, %d)", p, len(m.Classes))
 	}
-	if err := intervisit.Validate(); err != nil {
-		return nil, nil, fmt.Errorf("core: intervisit distribution: %w", err)
-	}
-	if intervisit.AtomAtZero() > 1e-9 {
-		return nil, nil, fmt.Errorf("core: intervisit distribution has an atom at zero")
+	if err := validateIntervisit(intervisit); err != nil {
+		return nil, nil, nil, err
 	}
 	sp := newClassSpace(m, p, intervisit)
 	c := sp.servers
 
-	type blocks struct{ down, local, up *matrix.Dense }
-	lv := make([]blocks, c+2) // 0..C, plus C+1 for the repeating down block
+	lv := make([]classBlocks, c+2) // 0..C, plus C+1 for the repeating down block
 	for i := 0; i <= c+1; i++ {
 		di := sp.dim(i)
 		lv[i].local = matrix.New(di, di)
@@ -52,6 +60,43 @@ func BuildClassProcess(m *Model, p int, intervisit *phase.Dist) (*qbd.Process, *
 			lv[i].down = matrix.New(di, sp.dim(i-1))
 		}
 	}
+	fillClassBlocks(sp, lv)
+
+	proc := &qbd.Process{
+		A0: lv[c].up,
+		A1: lv[c].local,
+		A2: lv[c+1].down,
+	}
+	proc.Down = append(proc.Down, nil)
+	for i := 0; i < c; i++ {
+		proc.Local = append(proc.Local, lv[i].local)
+		proc.Up = append(proc.Up, lv[i].up)
+	}
+	for i := 1; i <= c; i++ {
+		proc.Down = append(proc.Down, lv[i].down)
+	}
+	if err := certifyClassProcess(proc); err != nil {
+		return nil, nil, nil, err
+	}
+	return proc, sp, lv, nil
+}
+
+func validateIntervisit(intervisit *phase.Dist) error {
+	if err := intervisit.Validate(); err != nil {
+		return fmt.Errorf("core: intervisit distribution: %w", err)
+	}
+	if intervisit.AtomAtZero() > 1e-9 {
+		return fmt.Errorf("core: intervisit distribution has an atom at zero")
+	}
+	return nil
+}
+
+// fillClassBlocks emits every transition of the class process into the
+// (zeroed) level blocks and completes the diagonals so each level's
+// blocks form generator rows. The emission order is deterministic, so
+// refilling zeroed blocks reproduces a fresh build bit for bit.
+func fillClassBlocks(sp *classSpace, lv []classBlocks) {
+	c := sp.servers
 	for i := 0; i <= c+1; i++ {
 		level := i
 		if level > c {
@@ -76,32 +121,22 @@ func BuildClassProcess(m *Model, p int, intervisit *phase.Dist) (*qbd.Process, *
 			})
 		}
 	}
-	// Complete diagonals so each level's blocks form generator rows.
 	for i := 0; i <= c; i++ {
 		completeDiag(lv[i].local, lv[i].up, lv[i].down)
 	}
+}
 
-	proc := &qbd.Process{
-		A0: lv[c].up,
-		A1: lv[c].local,
-		A2: lv[c+1].down,
-	}
-	proc.Down = append(proc.Down, nil)
-	for i := 0; i < c; i++ {
-		proc.Local = append(proc.Local, lv[i].local)
-		proc.Up = append(proc.Up, lv[i].up)
-	}
-	for i := 1; i <= c; i++ {
-		proc.Down = append(proc.Down, lv[i].down)
-	}
+// certifyClassProcess runs the post-assembly checks shared by fresh
+// builds and refills: generator-row validation, then sparsity
+// certification of the arrival (A0) and service-completion (A2) blocks —
+// a handful of entries per row — for the CSR product fast path in the
+// solvers.
+func certifyClassProcess(proc *qbd.Process) error {
 	if err := proc.Validate(1e-8); err != nil {
-		return nil, nil, fmt.Errorf("core: built process invalid: %w", err)
+		return fmt.Errorf("core: built process invalid: %w", err)
 	}
-	// The arrival (A0) and service-completion (A2) blocks are structurally
-	// sparse — a handful of entries per row — so certify them for the CSR
-	// product fast path in the solvers.
 	proc.CertifySparse(0)
-	return proc, sp, nil
+	return nil
 }
 
 func completeDiag(local, up, down *matrix.Dense) {

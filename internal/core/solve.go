@@ -8,70 +8,22 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/certify/faultinject"
-	"repro/internal/matrix"
 	"repro/internal/phase"
 	"repro/internal/qbd"
 )
 
 // solveCalls counts analytic solver invocations (Solve,
-// SolveHeavyTraffic, SolveExactTwoClass) since process start. The sweep
-// harness uses it to prove that a warm-cache run performs no solver work.
+// SolveHeavyTraffic, Session.Resolve, SolveExactTwoClass) since process
+// start.
 var solveCalls atomic.Int64
 
 // SolveCalls returns the number of analytic solver invocations so far in
 // this process. Monotone; safe for concurrent use.
+//
+// Deprecated: the process-global counter only answers "did any solver
+// work happen at all" (the warm-cache proof in cmd/gangsweep). Per-run
+// pipeline statistics live in Result.Counters and Session.Counters.
 func SolveCalls() int64 { return solveCalls.Load() }
-
-// SolveOptions tune the analytic solution.
-type SolveOptions struct {
-	// RMatrix forwards options to the QBD R-matrix computation.
-	RMatrix qbd.RMatrixOptions
-	// FixedPointTol is the relative change in every class's mean
-	// population at which the Theorem 4.3 iteration stops. Default 1e-6.
-	FixedPointTol float64
-	// MaxIterations bounds the fixed-point iteration. Default 200.
-	MaxIterations int
-	// Damping blends new effective-quantum parameters with the previous
-	// iterate: value in (0, 1], 1 = no damping. Default 1 (the iteration
-	// is a monotone contraction; damping only slows it).
-	Damping float64
-	// DisableAcceleration turns off the Aitken Δ² extrapolation applied
-	// every third iterate to the effective-quantum parameters. The
-	// un-accelerated iteration converges linearly with ratio ≈ 0.9 at
-	// light loads, so acceleration is on by default.
-	DisableAcceleration bool
-	// MaxFitOrder caps the order of the moment-matched effective-quantum
-	// stand-in (ablation A2). Default 8.
-	MaxFitOrder int
-	// TailEps sets the stationary tail mass at which the effective-quantum
-	// chain is truncated. Default 1e-10.
-	TailEps float64
-	// TruncationCap bounds the truncation depth above the boundary.
-	// Default 400.
-	TruncationCap int
-}
-
-func (o SolveOptions) withDefaults() SolveOptions {
-	if o.FixedPointTol == 0 {
-		o.FixedPointTol = 1e-6
-	}
-	if o.MaxIterations == 0 {
-		o.MaxIterations = 200
-	}
-	if o.Damping == 0 {
-		o.Damping = 1
-	}
-	if o.MaxFitOrder == 0 {
-		o.MaxFitOrder = 8
-	}
-	if o.TailEps == 0 {
-		o.TailEps = 1e-10
-	}
-	if o.TruncationCap == 0 {
-		o.TruncationCap = 400
-	}
-	return o
-}
 
 // ClassResult holds the per-class steady-state measures of §4.5.
 type ClassResult struct {
@@ -143,6 +95,9 @@ type Result struct {
 	// MeanCycle is the converged mean timeplexing-cycle length
 	// Σ_p (E[effective quantum_p] + E[C_p]).
 	MeanCycle float64
+	// Counters are this run's pipeline statistics: chains built vs
+	// refilled, QBD solves, R iterations, warm vs cold starts.
+	Counters Counters
 }
 
 // ErrAllUnstable is returned when no class satisfies the drift condition.
@@ -152,31 +107,31 @@ var ErrAllUnstable = errors.New("core: every class is unstable")
 // heavy-traffic intervisit distributions and no fixed-point refinement —
 // the paper's initialization, and ablation A1's baseline.
 func SolveHeavyTraffic(m *Model, opts SolveOptions) (*Result, error) {
-	opts = opts.withDefaults()
-	opts.MaxIterations = 1
-	return solve(m, opts)
+	s, err := NewSession(opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.resolve(m, s.opts, true)
 }
 
 // Solve runs the full Theorem 4.3 fixed-point iteration: solve each class,
 // extract each class's effective quantum from its solution, rebuild every
 // intervisit distribution from the other classes' effective quanta, and
-// repeat to convergence.
+// repeat to convergence. One-shot; to amortize structure and warm-start
+// nearby solves, hold a Session and Resolve repeatedly.
 func Solve(m *Model, opts SolveOptions) (*Result, error) {
-	return solve(m, opts.withDefaults())
-}
-
-func solve(m *Model, opts SolveOptions) (*Result, error) {
-	solveCalls.Add(1)
-	if err := m.Validate(); err != nil {
+	s, err := NewSession(opts)
+	if err != nil {
 		return nil, err
 	}
-	// One workspace per solve, shared by every QBD solve and
-	// effective-quantum extraction of the fixed-point iteration. Solves are
-	// single-goroutine, so the unsynchronized arena is safe; concurrent
-	// sweep trials each run their own solve and thus their own workspace.
-	if opts.RMatrix.Workspace == nil {
-		opts.RMatrix.Workspace = matrix.NewWorkspace()
-	}
+	return s.resolve(m, s.opts, false)
+}
+
+// runFixedPoint is the pipeline driver: per iteration it runs stages
+// 2–4 for every class (build/refill → QBD solve → quantum extraction),
+// checks convergence of the mean populations, and rebuilds the
+// effective quanta for the next round.
+func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Result, error) {
 	l := m.NumClasses()
 	quanta := nominalQuanta(m) // effective-quantum stand-ins, heavy-traffic init
 	prevN := make([]float64, l)
@@ -188,7 +143,7 @@ func solve(m *Model, opts SolveOptions) (*Result, error) {
 		anyStable := false
 		for p := 0; p < l; p++ {
 			f := IntervisitFrom(m, p, quanta)
-			cr, err := solveClass(m, p, f, opts)
+			cr, err := s.solveClass(m, p, f, opts, cnt)
 			if err == nil {
 				// Fault-injection point: tests fail one class here to prove
 				// the solve degrades per class instead of dying whole.
@@ -355,34 +310,4 @@ func clamp(x, lo, hi float64) float64 {
 		return hi
 	}
 	return x
-}
-
-// solveClass builds and solves one class's QBD under intervisit f.
-func solveClass(m *Model, p int, f *phase.Dist, opts SolveOptions) (*ClassResult, error) {
-	ch, err := BuildClassChain(m, p, f)
-	if err != nil {
-		return nil, err
-	}
-	cr := &ClassResult{Rho: m.ClassUtilization(p), Intervisit: f, chain: ch}
-	sol, err := qbd.Solve(ch.Proc, opts.RMatrix)
-	if errors.Is(err, qbd.ErrUnstable) {
-		return cr, nil // Stable stays false
-	}
-	if err != nil {
-		return nil, err
-	}
-	cr.Stable = true
-	cr.Solution = sol
-	cr.Cert = sol.Cert
-	cr.SpectralRadiusR = sol.SpectralRadiusR()
-	cr.N, err = ch.MeanJobs(sol)
-	if err != nil {
-		return nil, err
-	}
-	cr.T = cr.N / m.ArrivalRate(p)
-	cr.Effective, err = ExtractEffectiveQuantum(ch, sol, opts.TailEps, opts.TruncationCap, opts.RMatrix.Workspace)
-	if err != nil {
-		return nil, err
-	}
-	return cr, nil
 }

@@ -72,6 +72,35 @@ func newClassSpace(m *Model, p int, intervisit *phase.Dist) *classSpace {
 	return sp
 }
 
+// rebind repoints the space's distributions at a new model and
+// intervisit whose phase orders, batch support and partitioning all
+// match the ones the space was enumerated for. It reports false — space
+// unchanged — on any structural difference; the enumerated state space
+// depends only on those orders, so after a successful rebind the levels
+// and indexes remain valid and only emitted rates change.
+func (sp *classSpace) rebind(m *Model, p int, intervisit *phase.Dist) bool {
+	if p < 0 || p >= len(m.Classes) {
+		return false
+	}
+	c := m.Classes[p]
+	batch := c.Batch
+	if len(batch) == 0 {
+		batch = []float64{1}
+	}
+	if m.Servers(p) != sp.servers ||
+		c.Arrival.Order() != sp.mA ||
+		c.Service.Order() != sp.mB ||
+		c.Quantum.Order() != sp.mG ||
+		intervisit.Order() != sp.nF ||
+		len(batch) != len(sp.batch) ||
+		c.MaxBatch() != sp.maxBatch {
+		return false
+	}
+	sp.arrival, sp.service, sp.quantum, sp.intervisit = c.Arrival, c.Service, c.Quantum, intervisit
+	sp.batch = batch
+	return true
+}
+
 // enumerate lists the states of level i (capped at the repeating level C).
 // Level 0 has no jobs and therefore no quantum phases: when the class-p
 // queue is empty the scheduler skips straight past p's slice (paper §3.1),

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"repro/internal/certify"
 	"repro/internal/certify/faultinject"
@@ -38,6 +39,19 @@ type RMatrixOptions struct {
 	// CertTol overrides the certification tolerances Solve judges its
 	// result against; nil means certify.DefaultTolerances().
 	CertTol *certify.Tolerances
+
+	// InitialR, when non-nil and shape-compatible, warm-starts the solve:
+	// before the cold fallback ladder runs, a traffic-based iteration
+	// R ← D₀·(I − D₁ − R·D₂)⁻¹ continues from InitialR (typically the
+	// previous fixed-point iterate, or the converged R of a nearby sweep
+	// trial). The warm result is an initial guess only — it must pass the
+	// same certification as every cold rung, and a warm R whose spectral
+	// bound reaches 1 is discarded (it may be a non-minimal solution of
+	// the quadratic equation), so the ladder falls back to the cold rungs
+	// and correctness never depends on the quality of the guess. Warm
+	// starts only apply on the certified path (Solve); the raw RMatrix
+	// entry point ignores InitialR.
+	InitialR *matrix.Dense
 }
 
 func (o RMatrixOptions) withDefaults() RMatrixOptions {
@@ -75,13 +89,29 @@ const (
 	shiftedMargin    = 1.01
 )
 
-// Fallback-ladder rung names, in the order they are attempted.
+// Fallback-ladder rung names, in the order they are attempted. The warm
+// rung only exists when the caller supplied an InitialR; the cold ladder
+// below it is unchanged, so solves without a warm iterate are bitwise
+// identical to the historical path.
 const (
+	rungWarm         = "warm"
 	rungLogReduction = "logreduction"
 	rungSubstitution = "substitution"
 	rungTightened    = "tightened"
 	rungShifted      = "shifted"
 )
+
+// WarmAccepted reports whether a certificate path's accepted rung — its
+// last entry — is the warm-start continuation, i.e. the solve really did
+// converge from the supplied InitialR rather than falling back to a cold
+// rung.
+func WarmAccepted(path []string) bool {
+	if len(path) == 0 {
+		return false
+	}
+	last := path[len(path)-1]
+	return strings.HasPrefix(last, rungWarm+":") && strings.HasSuffix(last, "ok")
+}
 
 // RMatrix computes the minimal non-negative solution of
 // R²·A₂ + R·A₁ + A₀ = 0 (paper eq. 23) by logarithmic reduction on the
@@ -155,9 +185,30 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 		return r, c
 	}
 
-	r, cert := try(rungLogReduction, func() (*matrix.Dense, int, error) {
-		return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
-	})
+	var (
+		r    *matrix.Dense
+		cert *certify.Certificate
+	)
+	if certTol != nil && opts.InitialR != nil &&
+		opts.InitialR.Rows() == n && opts.InitialR.Cols() == n {
+		r, cert = try(rungWarm, func() (*matrix.Dense, int, error) {
+			return warmIterationR(id, d0, d1, d2, sd0, sd2, opts.InitialR, ws, opts)
+		})
+		if r != nil && cert.SpectralRadius >= 1 {
+			// A warm iterate can converge to a non-minimal solution of the
+			// quadratic equation (sp ≥ 1 despite a clean residual). That is
+			// a wrong answer for a drift-stable process, not an instability
+			// verdict: discard it and let the cold ladder decide.
+			path[len(path)-1] = rungWarm + ": rejected (sp ≥ 1)"
+			rungs = append(rungs, fmt.Errorf("%s: spectral bound %g ≥ 1", rungWarm, cert.SpectralRadius))
+			r, cert = nil, nil
+		}
+	}
+	if r == nil {
+		r, cert = try(rungLogReduction, func() (*matrix.Dense, int, error) {
+			return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
+		})
+	}
 	if r == nil {
 		r, cert = try(rungSubstitution, func() (*matrix.Dense, int, error) {
 			return successiveSubstitution(id, d0, d1, d2, sd2, ws, opts)
@@ -252,10 +303,10 @@ func certifyRWS(r, a0, a1, a2 *matrix.Dense, tol certify.Tolerances, ws *matrix.
 	}
 	t1, t2, t3 := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
 	matrix.MulTo(t1, r, a1)
-	matrix.AddTo(t1, a0, t1)  // a0 + r·a1
-	matrix.MulTo(t2, r, r)    // r²
-	matrix.MulTo(t3, t2, a2)  // r²·a2
-	matrix.AddTo(t1, t1, t3)  // (a0 + r·a1) + r²·a2
+	matrix.AddTo(t1, a0, t1) // a0 + r·a1
+	matrix.MulTo(t2, r, r)   // r²
+	matrix.MulTo(t3, t2, a2) // r²·a2
+	matrix.AddTo(t1, t1, t3) // (a0 + r·a1) + r²·a2
 	c.Residual = t1.InfNorm() / scale
 	ws.Put(t1, t2, t3)
 	c.SpectralRadius = matrix.SpectralRadiusUpperBoundWS(r, 40, ws)
@@ -418,6 +469,59 @@ func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *m
 	ws.Put(m, inv)
 	ws.PutLU(lu)
 	return r, nil
+}
+
+// warmIterationR continues the traffic-based fixed point
+// R ← D₀·(I − D₁ − R·D₂)⁻¹ from a caller-supplied initial iterate. The
+// map is stationary at the minimal solution, and its linear convergence
+// factor is strictly smaller than the classical substitution map's
+// (Latouche & Ramaswami §8), so a nearby warm iterate — the previous
+// fixed-point round's R, or the converged R of an adjacent sweep trial —
+// finishes in a handful of steps where the cold rungs rebuild R from
+// nothing. The result is certified by the caller like every other rung;
+// a contaminated or divergent warm guess just drops the ladder to the
+// cold rungs.
+func warmIterationR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, init *matrix.Dense, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+	n := d1.Rows()
+	r := matrix.New(n, n) // freshly allocated: R escapes on success
+	r.CopyFrom(init)
+	u, inv, next := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
+	lu := ws.GetLU(n)
+	cleanup := func() {
+		ws.Put(u, inv, next)
+		ws.PutLU(lu)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		if sd2 != nil {
+			matrix.MulCSRTo(u, r, sd2)
+		} else {
+			matrix.MulTo(u, r, d2)
+		}
+		matrix.AddTo(u, d1, u)
+		matrix.DiffTo(u, id, u) // I − D₁ − R·D₂
+		if err := lu.Reset(u); err != nil {
+			cleanup()
+			return nil, iter, fmt.Errorf("qbd: warm iteration: I − D₁ − R·D₂ singular: %w", err)
+		}
+		lu.InverseTo(inv)
+		if sd0 != nil {
+			sd0.MulDenseTo(next, inv)
+		} else {
+			matrix.MulTo(next, d0, inv)
+		}
+		diff := matrix.MaxAbsDiff(next, r)
+		if math.IsNaN(diff) {
+			cleanup()
+			return nil, iter + 1, errors.New("qbd: warm iteration contaminated (NaN iterate)")
+		}
+		r.CopyFrom(next)
+		if diff < opts.Tol {
+			cleanup()
+			return r, iter + 1, nil
+		}
+	}
+	cleanup()
+	return nil, opts.MaxIter, matrix.ErrNoConverge
 }
 
 // successiveSubstitution iterates R ← (D₀ + R²·D₂)·(I − D₁)⁻¹ from R = 0.

@@ -1,0 +1,140 @@
+package qbd
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+// acceptedWarm is the exported WarmAccepted predicate, aliased for the
+// tests below.
+func acceptedWarm(path []string) bool { return WarmAccepted(path) }
+
+// TestSolveWarmStartAgrees solves a multi-phase QBD cold, then re-solves a
+// nearby process warm-started from the cold R: the warm solution must be
+// certified, carry the warm rung as its accepted path entry, and agree
+// with that process's own cold solve to well within the certification
+// tolerance.
+func TestSolveWarmStartAgrees(t *testing.T) {
+	for _, delta := range []float64{0, 0.01, 0.05} {
+		base, err := Solve(mErlang2_1(0.6, 1), RMatrixOptions{})
+		if err != nil {
+			t.Fatalf("cold base solve: %v", err)
+		}
+		moved := mErlang2_1(0.6+delta, 1)
+		cold, err := Solve(moved, RMatrixOptions{})
+		if err != nil {
+			t.Fatalf("cold moved solve: %v", err)
+		}
+		warm, err := Solve(moved, RMatrixOptions{InitialR: base.R})
+		if err != nil {
+			t.Fatalf("warm moved solve (delta=%g): %v", delta, err)
+		}
+		if warm.Cert == nil {
+			t.Fatalf("warm solve carries no certificate")
+		}
+		if !acceptedWarm(warm.Cert.Path) {
+			t.Fatalf("delta=%g: warm rung not accepted, path %v", delta, warm.Cert.Path)
+		}
+		if err := warm.Cert.Verify(); err != nil {
+			t.Fatalf("warm certificate does not verify: %v", err)
+		}
+		nc, err := cold.MeanLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw, err := warm.MeanLevel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(nc-nw) > 1e-8*(1+math.Abs(nc)) {
+			t.Fatalf("delta=%g: warm mean level %g vs cold %g", delta, nw, nc)
+		}
+	}
+}
+
+// TestSolveWarmStartGarbageFallsBack feeds a garbage warm iterate: the
+// ladder must reject it (or iterate back to the true R) and still return
+// a certified, correct solution.
+func TestSolveWarmStartGarbageFallsBack(t *testing.T) {
+	p := mErlang2_1(0.5, 1)
+	cold, err := Solve(p, RMatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := matrix.New(2, 2)
+	garbage.Set(0, 0, math.NaN())
+	garbage.Set(1, 1, 1e6)
+	warm, err := Solve(p, RMatrixOptions{InitialR: garbage})
+	if err != nil {
+		t.Fatalf("solve with garbage warm start: %v", err)
+	}
+	if err := warm.Cert.Verify(); err != nil {
+		t.Fatalf("certificate after garbage warm start: %v", err)
+	}
+	nc, _ := cold.MeanLevel()
+	nw, _ := warm.MeanLevel()
+	if math.Abs(nc-nw) > 1e-8*(1+math.Abs(nc)) {
+		t.Fatalf("garbage warm start changed the answer: %g vs %g", nw, nc)
+	}
+	// The ladder must have recorded the failed warm attempt before the
+	// cold rung that rescued the solve.
+	if len(warm.Cert.Path) < 2 || !strings.HasPrefix(warm.Cert.Path[0], rungWarm+":") {
+		t.Fatalf("path does not record the warm attempt: %v", warm.Cert.Path)
+	}
+}
+
+// TestSolveWarmStartShapeMismatchIgnored proves a wrong-shape warm
+// iterate is skipped silently: the solve is the plain cold ladder.
+func TestSolveWarmStartShapeMismatchIgnored(t *testing.T) {
+	p := mErlang2_1(0.5, 1)
+	warm, err := Solve(p, RMatrixOptions{InitialR: matrix.New(3, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.HasPrefix(warm.Cert.Path[0], rungWarm+":") {
+		t.Fatalf("shape-mismatched warm iterate was attempted: %v", warm.Cert.Path)
+	}
+}
+
+// TestRMatrixIgnoresInitialR pins the documented contract: the raw,
+// uncertified RMatrix entry point never uses the warm iterate.
+func TestRMatrixIgnoresInitialR(t *testing.T) {
+	p := mErlang2_1(0.5, 1)
+	rCold, err := RMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	garbage := matrix.New(2, 2)
+	garbage.Set(0, 0, math.Inf(1))
+	rWarm, err := RMatrix(p.A0, p.A1, p.A2, RMatrixOptions{InitialR: garbage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.MaxAbsDiff(rCold, rWarm) != 0 {
+		t.Fatalf("RMatrix result depends on InitialR")
+	}
+}
+
+// TestWarmIterationCheaperNearby: warm-starting from the exact R of the
+// same process must converge in very few iterations compared to the cold
+// ladder's count.
+func TestWarmIterationCheaperNearby(t *testing.T) {
+	p := mErlang2_1(0.7, 1)
+	cold, err := Solve(p, RMatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(p, RMatrixOptions{InitialR: cold.R})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !acceptedWarm(warm.Cert.Path) {
+		t.Fatalf("warm rung not accepted: %v", warm.Cert.Path)
+	}
+	if warm.Cert.Iterations >= cold.Cert.Iterations {
+		t.Fatalf("warm solve took %d iterations, cold %d", warm.Cert.Iterations, cold.Cert.Iterations)
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/certify/faultinject"
+	"repro/internal/core"
 )
 
 // TestConfigErrorTypedNotRetried (satellite): a trial whose scenario
@@ -191,7 +192,7 @@ func TestWithoutAllowDegradedErrors(t *testing.T) {
 func TestValueGuardRejectsNaN(t *testing.T) {
 	orig := execute
 	defer func() { execute = orig }()
-	execute = func(tr Trial, pol ExecPolicy) (execOutcome, error) {
+	execute = func(tr Trial, pol ExecPolicy, ses *core.Session) (execOutcome, error) {
 		return execOutcome{values: map[string]float64{"v": math.NaN()}, converged: true}, nil
 	}
 	run, err := RunTrials(context.Background(),
@@ -215,7 +216,7 @@ func TestWorkerKilledMidTrial(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
 	orig := execute
 	defer func() { execute = orig }()
-	execute = func(tr Trial, pol ExecPolicy) (execOutcome, error) {
+	execute = func(tr Trial, pol ExecPolicy, ses *core.Session) (execOutcome, error) {
 		return execOutcome{values: map[string]float64{"i": tr.Point["i"]}, converged: true}, nil
 	}
 	faultinject.Arm("sweep.values", func(p any) error {

@@ -36,32 +36,46 @@ type ExecPolicy struct {
 }
 
 // execOutcome is one attempt's result: the named values, whether the
-// analytic fixed point converged, and whether any class value came from
-// the simulation fallback instead of a certified analytic solve.
+// analytic fixed point converged, whether any class value came from the
+// simulation fallback instead of a certified analytic solve, and the
+// solve's pipeline counters (zero for non-analytic methods).
 type execOutcome struct {
 	values    map[string]float64
 	converged bool
 	degraded  bool
+	counters  core.Counters
 }
 
 // execute runs one trial attempt. Failures are typed: configuration
 // errors (bad scenario, unknown method) are certify.ErrConfig and never
 // retried; fixed-point non-convergence is certify.ErrNotConverged and
 // retried with an escalated budget; numeric contamination is
-// certify.ErrNumericContaminated. Declared as a variable so tests can
-// stub the executor.
-var execute = func(t Trial, pol ExecPolicy) (execOutcome, error) {
+// certify.ErrNumericContaminated. A non-nil ses routes analytic and
+// heavy-traffic solves through the worker's reusable session with warm
+// starts enabled; other methods ignore it. Declared as a variable so
+// tests can stub the executor.
+var execute = func(t Trial, pol ExecPolicy, ses *core.Session) (execOutcome, error) {
 	m, err := t.Scenario.Model()
 	if err != nil {
 		return execOutcome{}, &certify.Failure{Kind: certify.ErrConfig, Stage: "sweep.model", Err: err}
 	}
 	switch t.Method {
 	case MethodAnalytic, MethodHeavy:
-		solve := core.Solve
-		if t.Method == MethodHeavy {
-			solve = core.SolveHeavyTraffic
+		copts := t.Solve.coreOptions()
+		var res *core.Result
+		var serr error
+		switch {
+		case ses != nil && t.Method == MethodHeavy:
+			copts.WarmStart = true
+			res, serr = ses.ResolveHeavyTraffic(m, copts)
+		case ses != nil:
+			copts.WarmStart = true
+			res, serr = ses.ResolveWith(m, copts)
+		case t.Method == MethodHeavy:
+			res, serr = core.SolveHeavyTraffic(m, copts)
+		default:
+			res, serr = core.Solve(m, copts)
 		}
-		res, serr := solve(m, t.Solve.coreOptions())
 		if serr != nil && !errors.Is(serr, core.ErrAllUnstable) {
 			if res == nil || len(failedClasses(res)) == 0 {
 				// Whole-solve failure with no per-class result to salvage.
@@ -100,7 +114,8 @@ var execute = func(t Trial, pol ExecPolicy) (execOutcome, error) {
 		values["totalN"] = res.TotalN
 		values["iterations"] = float64(res.Iterations)
 		values["meanCycle"] = res.MeanCycle
-		return execOutcome{values: values, converged: res.Converged || t.Method == MethodHeavy}, nil
+		return execOutcome{values: values, converged: res.Converged || t.Method == MethodHeavy,
+			counters: res.Counters}, nil
 
 	case MethodSim:
 		res, err := sim.RunGang(simConfig(t, m))
@@ -202,7 +217,7 @@ func degradeToSim(t Trial, m *core.Model, res *core.Result, failed []int) (execO
 	values["totalN"] = total
 	values["iterations"] = float64(res.Iterations)
 	values["meanCycle"] = res.MeanCycle
-	return execOutcome{values: values, converged: true, degraded: true}, nil
+	return execOutcome{values: values, converged: true, degraded: true, counters: res.Counters}, nil
 }
 
 func classErr(res *core.Result, failed []int) error {

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/certify/faultinject"
+	"repro/internal/core"
 )
 
 // Options control sweep execution.
@@ -41,6 +42,16 @@ type Options struct {
 	// Degraded results are flagged in the result and manifest and are
 	// never cached.
 	AllowDegraded bool
+	// WarmStart threads one reusable core.Session through each worker:
+	// trials are reordered by parameter distance within structural groups
+	// and each worker's session reuses chain structure and warm-starts
+	// R-matrix solves from the previous trial's iterate. Warm solutions
+	// are certified like cold ones but may differ from a cold solve
+	// within the certification tolerance, so warm results are never
+	// written to the cache and artifacts are not guaranteed byte-stable
+	// against cold runs. Off by default: cold runs are byte-identical to
+	// previous releases.
+	WarmStart bool
 }
 
 func (o Options) withDefaults() Options {
@@ -86,6 +97,10 @@ type TrialResult struct {
 	Attempts int           `json:"-"`
 	Elapsed  time.Duration `json:"-"`
 	Kind     string        `json:"-"` // failure-taxonomy label, manifest-only
+	// Counters are the trial's solver-pipeline statistics (zero for
+	// cached trials and non-analytic methods); manifest-only, summed
+	// into Manifest.Pipeline.
+	Counters core.Counters `json:"-"`
 }
 
 // TrialStatus is the manifest's per-trial execution record.
@@ -104,22 +119,27 @@ type TrialStatus struct {
 // Manifest summarizes a run for reproducibility audits: what was asked,
 // what actually executed, and how the cache behaved.
 type Manifest struct {
-	Name         string        `json:"name"`
-	SpecHash     string        `json:"specHash,omitempty"`
-	Seed         int64         `json:"seed"`
-	Workers      int           `json:"workers"`
-	Trials       int           `json:"trials"`
-	Executed     int           `json:"executed"`
-	CacheHits    int           `json:"cacheHits"`
-	CacheHitRate float64       `json:"cacheHitRate"`
-	Errors       int           `json:"errors"`
-	Degraded     int           `json:"degraded,omitempty"`
-	Panics       int           `json:"panics"`
-	Retries      int           `json:"retries"`
-	Canceled     int           `json:"canceled"`
-	WallMillis   int64         `json:"wallMillis"`
-	TrialsPerSec float64       `json:"trialsPerSec"`
-	PerTrial     []TrialStatus `json:"perTrial"`
+	Name         string  `json:"name"`
+	SpecHash     string  `json:"specHash,omitempty"`
+	Seed         int64   `json:"seed"`
+	Workers      int     `json:"workers"`
+	Trials       int     `json:"trials"`
+	Executed     int     `json:"executed"`
+	CacheHits    int     `json:"cacheHits"`
+	CacheHitRate float64 `json:"cacheHitRate"`
+	Errors       int     `json:"errors"`
+	Degraded     int     `json:"degraded,omitempty"`
+	Panics       int     `json:"panics"`
+	Retries      int     `json:"retries"`
+	Canceled     int     `json:"canceled"`
+	WallMillis   int64   `json:"wallMillis"`
+	TrialsPerSec float64 `json:"trialsPerSec"`
+	// Pipeline sums the per-trial solver-pipeline counters — chains built
+	// vs refilled in place, QBD solves, total R-matrix iterations, and
+	// the warm/cold/accepted split. Omitted when no analytic solver work
+	// ran (all-cached or all-simulation runs).
+	Pipeline *core.Counters `json:"pipeline,omitempty"`
+	PerTrial []TrialStatus  `json:"perTrial"`
 }
 
 // Run is a completed (possibly partially, when canceled) sweep.
@@ -154,36 +174,60 @@ func RunTrials(ctx context.Context, trials []Trial, opts Options) (*Run, error) 
 	start := time.Now()
 	results := make([]TrialResult, len(trials))
 
-	indices := make(chan int)
 	var done atomic.Int64
 	var progressMu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range indices {
-				results[i] = runOne(trials[i], i, opts)
-				n := int(done.Add(1))
-				if opts.Progress != nil {
-					progressMu.Lock()
-					opts.Progress(n, len(trials), results[i])
-					progressMu.Unlock()
-				}
-			}
-		}()
-	}
-
-feed:
-	for i := range trials {
-		select {
-		case indices <- i:
-		case <-ctx.Done():
-			break feed
+	report := func(i int) {
+		n := int(done.Add(1))
+		if opts.Progress != nil {
+			progressMu.Lock()
+			opts.Progress(n, len(trials), results[i])
+			progressMu.Unlock()
 		}
 	}
-	close(indices)
-	wg.Wait()
+
+	var wg sync.WaitGroup
+	if opts.WarmStart {
+		// Warm path: a static, locality-ordered queue per worker, each
+		// threaded through its own reusable session.
+		for _, q := range warmQueues(trials, opts.Workers) {
+			wg.Add(1)
+			go func(q []int, ses *core.Session) {
+				defer wg.Done()
+				for _, i := range q {
+					select {
+					case <-ctx.Done():
+						return
+					default:
+					}
+					results[i] = runOne(trials[i], i, opts, ses)
+					report(i)
+				}
+			}(q, newWarmSession())
+		}
+		wg.Wait()
+	} else {
+		indices := make(chan int)
+		for w := 0; w < opts.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range indices {
+					results[i] = runOne(trials[i], i, opts, nil)
+					report(i)
+				}
+			}()
+		}
+	feed:
+		for i := range trials {
+			select {
+			case indices <- i:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(indices)
+		wg.Wait()
+	}
 
 	// Mark trials never started (canceled before being fed).
 	for i := range results {
@@ -203,7 +247,10 @@ feed:
 
 // runOne executes a single trial with cache lookup, panic isolation and
 // retry-with-escalated-iteration-budget on fixed-point non-convergence.
-func runOne(t Trial, index int, opts Options) (r TrialResult) {
+// A non-nil ses makes the attempts warm-started; warm results are never
+// written back to the cache (the cache stays a store of cold-certified
+// values that any run mode can safely read).
+func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult) {
 	start := time.Now()
 	r = TrialResult{Index: index, Key: t.Key(), Method: t.Method, Point: t.Point}
 	defer func() { r.Elapsed = time.Since(start) }()
@@ -230,7 +277,7 @@ func runOne(t Trial, index int, opts Options) (r TrialResult) {
 			AllowDegraded: opts.AllowDegraded,
 			FinalAttempt:  attempt > opts.MaxRetries,
 		}
-		out, err := attemptTrial(t, pol)
+		out, err := attemptTrial(t, pol, ses)
 		retryable := t.Method == MethodAnalytic && attempt <= opts.MaxRetries
 		switch {
 		case err == errPanic:
@@ -252,6 +299,7 @@ func runOne(t Trial, index int, opts Options) (r TrialResult) {
 			continue
 		}
 		r.Values = out.values
+		r.Counters = out.counters
 		if out.degraded {
 			// Degraded values are second-class: flagged in the result and
 			// manifest, and never cached — a future run with a healthier
@@ -261,7 +309,7 @@ func runOne(t Trial, index int, opts Options) (r TrialResult) {
 			return r
 		}
 		r.Status = StatusOK
-		if opts.Cache != nil {
+		if opts.Cache != nil && ses == nil {
 			if cerr := opts.Cache.Put(r.Key, out.values); cerr != nil {
 				r.Err = cerr.Error() // persisted result lost, values intact
 			}
@@ -275,13 +323,13 @@ var errPanic = fmt.Errorf("sweep: trial panicked")
 // attemptTrial runs one execute attempt with panic isolation, then guards
 // the outgoing values: a NaN or ±Inf must never reach the artifacts or
 // the cache, whatever produced it.
-func attemptTrial(t Trial, pol ExecPolicy) (out execOutcome, err error) {
+func attemptTrial(t Trial, pol ExecPolicy, ses *core.Session) (out execOutcome, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			out, err = execOutcome{}, errPanic
 		}
 	}()
-	out, err = execute(t, pol)
+	out, err = execute(t, pol, ses)
 	if err != nil {
 		return out, err
 	}
@@ -312,7 +360,9 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 	if wall > 0 {
 		m.TrialsPerSec = float64(len(results)) / wall.Seconds()
 	}
+	var pipeline core.Counters
 	for _, r := range results {
+		pipeline.Add(r.Counters)
 		switch r.Status {
 		case StatusCached:
 			m.CacheHits++
@@ -341,6 +391,9 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 	}
 	if m.Trials > 0 {
 		m.CacheHitRate = float64(m.CacheHits) / float64(m.Trials)
+	}
+	if pipeline.Solves > 0 {
+		m.Pipeline = &pipeline
 	}
 	return m
 }

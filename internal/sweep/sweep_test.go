@@ -109,8 +109,8 @@ func TestTrialKeyCanonicalization(t *testing.T) {
 	a := trials[0]
 	b := a
 	b.Point = map[string]float64{"renamed": 1}
-	b.Seed = 42                       // irrelevant to analytic trials
-	b.Sim = SimParams{Horizon: 1e6}   // likewise
+	b.Seed = 42                     // irrelevant to analytic trials
+	b.Sim = SimParams{Horizon: 1e6} // likewise
 	if a.Key() != b.Key() {
 		t.Fatal("analytic key depends on labels/seed/sim params")
 	}
@@ -280,7 +280,7 @@ func TestCacheSurvivesCorruptTail(t *testing.T) {
 func TestPanicIsolation(t *testing.T) {
 	orig := execute
 	defer func() { execute = orig }()
-	execute = func(tr Trial, pol ExecPolicy) (execOutcome, error) {
+	execute = func(tr Trial, pol ExecPolicy, ses *core.Session) (execOutcome, error) {
 		if tr.Point["i"] == 1 {
 			panic("boom")
 		}
@@ -310,7 +310,7 @@ func TestRetryEscalatesIterationBudget(t *testing.T) {
 	orig := execute
 	defer func() { execute = orig }()
 	var budgets []int
-	execute = func(tr Trial, pol ExecPolicy) (execOutcome, error) {
+	execute = func(tr Trial, pol ExecPolicy, ses *core.Session) (execOutcome, error) {
 		budgets = append(budgets, tr.Solve.MaxIterations)
 		// Converge only once the budget has been escalated twice.
 		return execOutcome{values: map[string]float64{"v": 1}, converged: tr.Solve.MaxIterations >= 3200}, nil

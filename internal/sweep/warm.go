@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// structuralKey fingerprints everything about a trial that determines
+// its solver structure — method, processors, partitioning, distribution
+// shapes (SCVs), batch support — with the rates-only parameters
+// (lambda, mu, quantum/overhead means, batch probabilities) zeroed out.
+// Trials with equal keys build identical state spaces, so a session can
+// refill generators in place and carry R iterates between them; keying
+// on the SCVs is conservative (distinct SCVs can fit the same phase
+// order), which only costs reuse, never correctness.
+func structuralKey(t Trial) string {
+	sc := t.Scenario.clone()
+	for i := range sc.Classes {
+		c := &sc.Classes[i]
+		c.Lambda, c.Mu, c.QuantumMean, c.OverheadMean = 0, 0, 0, 0
+		for j := range c.Batch {
+			c.Batch[j] = 0
+		}
+	}
+	b, err := json.Marshal(struct {
+		Method   Method
+		Scenario Scenario
+	}{t.Method, sc})
+	if err != nil {
+		// Scenario is plain data; Marshal cannot fail. Degrade to one
+		// group per method rather than panicking mid-sweep.
+		return string(t.Method)
+	}
+	return string(b)
+}
+
+// warmOrder returns a permutation of trial indices that maximizes
+// warm-start locality: trials are grouped by structural key (groups in
+// first-appearance order, so the output is deterministic) and each
+// group is ordered by a greedy nearest-neighbor walk through normalized
+// parameter space, making consecutive solves as close as possible so
+// the previous R matrix is a good initial iterate for the next.
+func warmOrder(trials []Trial) []int {
+	var keys []string
+	groups := make(map[string][]int)
+	for i := range trials {
+		k := structuralKey(trials[i])
+		if _, seen := groups[k]; !seen {
+			keys = append(keys, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	// Per-axis normalization, so a greedy step weighs each parameter by
+	// its position within the sweep's range rather than its unit.
+	lo, hi := map[string]float64{}, map[string]float64{}
+	for i := range trials {
+		for k, v := range trials[i].Point {
+			if cur, ok := lo[k]; !ok || v < cur {
+				lo[k] = v
+			}
+			if cur, ok := hi[k]; !ok || v > cur {
+				hi[k] = v
+			}
+		}
+	}
+	coord := func(i int) map[string]float64 {
+		out := make(map[string]float64, len(trials[i].Point))
+		for k, v := range trials[i].Point {
+			if span := hi[k] - lo[k]; span > 0 {
+				out[k] = (v - lo[k]) / span
+			}
+		}
+		return out
+	}
+	dist := func(a, b map[string]float64) float64 {
+		d := 0.0
+		for k, av := range a {
+			dv := av - b[k]
+			d += dv * dv
+		}
+		return d
+	}
+
+	order := make([]int, 0, len(trials))
+	for _, k := range keys {
+		g := groups[k]
+		sort.Ints(g)
+		visited := make([]bool, len(g))
+		coords := make([]map[string]float64, len(g))
+		for j, idx := range g {
+			coords[j] = coord(idx)
+		}
+		cur := 0
+		visited[0] = true
+		order = append(order, g[0])
+		for step := 1; step < len(g); step++ {
+			next, best := -1, math.Inf(1)
+			for j := range g {
+				if visited[j] {
+					continue
+				}
+				if d := dist(coords[cur], coords[j]); d < best {
+					next, best = j, d
+				}
+			}
+			visited[next] = true
+			order = append(order, g[next])
+			cur = next
+		}
+	}
+	return order
+}
+
+// warmQueues splits the warm ordering into one contiguous queue per
+// worker. Contiguity is the point: each worker's session sees a run of
+// parameter-adjacent trials, at the cost of the cold path's dynamic
+// load balancing (trial costs within a sweep are near-uniform, so the
+// static split is an acceptable trade).
+func warmQueues(trials []Trial, workers int) [][]int {
+	order := warmOrder(trials)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	queues := make([][]int, 0, workers)
+	for w := 0; w < workers; w++ {
+		from := w * len(order) / workers
+		to := (w + 1) * len(order) / workers
+		if from < to {
+			queues = append(queues, order[from:to])
+		}
+	}
+	return queues
+}
+
+// newWarmSession builds one worker's reusable solver session. The zero
+// options are always valid, so the error path is unreachable; a nil
+// session just means that worker solves cold.
+func newWarmSession() *core.Session {
+	ses, err := core.NewSession(core.SolveOptions{WarmStart: true})
+	if err != nil {
+		return nil
+	}
+	return ses
+}

@@ -1,0 +1,216 @@
+package sweep
+
+// Warm-start harness tests: the trial ordering is deterministic and
+// structure-grouped, warm runs agree with cold runs within the solver's
+// certification tolerance, the manifest exposes the warm pipeline
+// counters, and warm results never land in the cache.
+
+import (
+	"context"
+	"math"
+	"sort"
+	"testing"
+)
+
+// warmSpec mixes two methods and two quantum SCVs so the grid holds
+// four structural groups (method × SCV), each spanning a lambda range.
+func warmSpec() *Spec {
+	s := testSpec()
+	s.Axes = []Axis{
+		{Param: "lambda", Values: []float64{0.2, 0.35, 0.5, 0.65}},
+		{Param: "quantum", Values: []float64{0.5, 1, 2}},
+	}
+	s.Methods = []Method{MethodAnalytic, MethodHeavy}
+	return s
+}
+
+func TestWarmOrderDeterministicPermutation(t *testing.T) {
+	trials, err := warmSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := warmOrder(trials), warmOrder(trials)
+	if len(a) != len(trials) {
+		t.Fatalf("order has %d entries, want %d", len(a), len(trials))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("warmOrder not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	perm := append([]int(nil), a...)
+	sort.Ints(perm)
+	for i, idx := range perm {
+		if idx != i {
+			t.Fatalf("not a permutation: position %d holds %d", i, idx)
+		}
+	}
+}
+
+func TestWarmOrderGroupsStructures(t *testing.T) {
+	trials, err := warmSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := warmOrder(trials)
+	// Every structural key must appear as one contiguous block: a key
+	// that reappears after a different key slipped in splits a group and
+	// throws away warm locality.
+	closed := make(map[string]bool)
+	last := ""
+	for _, idx := range order {
+		k := structuralKey(trials[idx])
+		if k != last {
+			if closed[k] {
+				t.Fatalf("structural group %q split across the order", k)
+			}
+			if last != "" {
+				closed[last] = true
+			}
+			last = k
+		}
+	}
+	// Methods differ across the spec, so there are at least two groups.
+	if len(closed) == 0 {
+		t.Fatal("expected multiple structural groups in the mixed spec")
+	}
+	// Within a group, consecutive trials should be parameter-neighbors:
+	// the greedy walk over a pure lambda×quantum grid never jumps across
+	// the whole lambda range between adjacent steps.
+	for i := 1; i < len(order); i++ {
+		a, b := trials[order[i-1]], trials[order[i]]
+		if structuralKey(a) != structuralKey(b) {
+			continue
+		}
+		if math.Abs(a.Point["lambda"]-b.Point["lambda"]) > 0.30001 {
+			t.Fatalf("greedy walk jumped lambda %g -> %g", a.Point["lambda"], b.Point["lambda"])
+		}
+	}
+}
+
+func TestWarmQueuesContiguousCover(t *testing.T) {
+	trials, err := warmSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := warmOrder(trials)
+	for _, workers := range []int{1, 3, 4, 100} {
+		queues := warmQueues(trials, workers)
+		var flat []int
+		for _, q := range queues {
+			if len(q) == 0 {
+				t.Fatalf("workers=%d: empty queue", workers)
+			}
+			flat = append(flat, q...)
+		}
+		if len(flat) != len(order) {
+			t.Fatalf("workers=%d: queues cover %d trials, want %d", workers, len(flat), len(order))
+		}
+		for i := range flat {
+			if flat[i] != order[i] {
+				t.Fatalf("workers=%d: queues reorder the warm walk at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestWarmRunMatchesCold is the end-to-end equivalence property: a warm
+// sweep's values agree with the cold sweep's within the certification
+// tolerance, and the manifest's pipeline counters show the warm path
+// actually engaged (warm solves, accepted warm rungs, refills).
+func TestWarmRunMatchesCold(t *testing.T) {
+	trials, err := warmSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := RunTrials(context.Background(), trials, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunTrials(context.Background(), trials, Options{Workers: 2, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Manifest.Errors+warm.Manifest.Panics > 0 {
+		t.Fatalf("warm run failed: %+v", warm.Manifest)
+	}
+	if len(warm.Results) != len(cold.Results) {
+		t.Fatalf("result counts differ: %d vs %d", len(warm.Results), len(cold.Results))
+	}
+	for i := range cold.Results {
+		cr, wr := cold.Results[i], warm.Results[i]
+		if cr.Key != wr.Key {
+			t.Fatalf("result %d: key order differs: %s vs %s", i, cr.Key, wr.Key)
+		}
+		for name, cv := range cr.Values {
+			wv, ok := wr.Values[name]
+			if !ok {
+				t.Fatalf("result %d: warm run missing %s", i, name)
+			}
+			if name == "iterations" {
+				// Warm starts may change the fixed-point iterate path;
+				// only the converged values must agree.
+				continue
+			}
+			// Both runs stop when the relative change drops below
+			// FixedPointTol (1e-6); with linear convergence ratio ≈ 0.9
+			// either iterate can sit ~1e-5 from the true fixed point, so
+			// the warm/cold gap is bounded by ~2× that.
+			if rel := math.Abs(wv-cv) / math.Max(math.Abs(cv), 1e-12); rel > 1e-4 {
+				t.Fatalf("result %d: %s warm %g vs cold %g (rel %g)", i, name, wv, cv, rel)
+			}
+		}
+	}
+	p := warm.Manifest.Pipeline
+	if p == nil {
+		t.Fatal("warm manifest missing pipeline counters")
+	}
+	if p.WarmSolves == 0 || p.WarmAccepted == 0 || p.Refills == 0 {
+		t.Fatalf("warm path never engaged: %+v", p)
+	}
+	// The cold manifest carries counters too (satellite: per-run stats in
+	// the manifest), but no warm solves.
+	if cp := cold.Manifest.Pipeline; cp == nil || cp.Solves == 0 || cp.WarmSolves != 0 {
+		t.Fatalf("cold manifest pipeline counters wrong: %+v", cp)
+	}
+}
+
+// TestWarmResultsNeverCached: the cache is a store of cold-certified
+// values only. A warm run may read it but must not write to it.
+func TestWarmResultsNeverCached(t *testing.T) {
+	trials, err := testSpec().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewMemCache()
+	run, err := RunTrials(context.Background(), trials, Options{Workers: 1, WarmStart: true, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Manifest.Errors+run.Manifest.Panics > 0 {
+		t.Fatalf("warm run failed: %+v", run.Manifest)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("warm run wrote %d cache entries, want 0", cache.Len())
+	}
+
+	// Reads are still allowed: prime the cache cold, rerun warm, and the
+	// whole sweep is served from the cache.
+	if _, err := RunTrials(context.Background(), trials, Options{Workers: 1, Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	primed := cache.Len()
+	if primed == 0 {
+		t.Fatal("cold run did not populate the cache")
+	}
+	rerun, err := RunTrials(context.Background(), trials, Options{Workers: 1, WarmStart: true, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.Manifest.CacheHits != len(trials) {
+		t.Fatalf("warm rerun hit cache %d times, want %d", rerun.Manifest.CacheHits, len(trials))
+	}
+	if cache.Len() != primed {
+		t.Fatalf("warm rerun changed the cache: %d -> %d entries", primed, cache.Len())
+	}
+}

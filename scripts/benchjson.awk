@@ -25,6 +25,18 @@
         name = substr(name, 1, RSTART - 1)
     }
     sub(/^Benchmark/, "", name)
+    # With -count > 1 the same benchmark repeats; keep each name's best
+    # (lowest ns/op) run so one scheduler hiccup cannot poison the
+    # committed baseline.
+    ns = 0
+    for (i = 3; i < NF; i += 2)
+        if ($(i + 1) == "ns/op") ns = $(i)
+    if (name in bestns && ns >= bestns[name]) next
+    bestns[name] = ns
+    if (!(name in seen)) {
+        seen[name] = 1
+        order[++n] = name
+    }
     iters[name] = $2
     for (i = 3; i < NF; i += 2) {
         unit = $(i + 1)
@@ -35,7 +47,6 @@
             uorder[++nu] = unit
         }
     }
-    order[++n] = name
 }
 
 END {
@@ -75,9 +86,19 @@ END {
     prea = metric["RMatrixPre/medium", "allocs_per_op"]
     if (livea > 0 && prea > 0)
         printf ",\n  \"rmatrix_medium_alloc_ratio_vs_pre\": %.1f", prea / livea
+    cold = metric["PipelineCold", "ns_per_op"]
+    warmp = metric["PipelineWarm", "ns_per_op"]
+    if (cold > 0 && warmp > 0)
+        printf ",\n  \"pipeline_warm_speedup_vs_cold\": %.2f", cold / warmp
+    coldR = metric["PipelineCold", "Riters_per_solve"]
+    warmR = metric["PipelineWarm", "Riters_per_solve"]
+    if (coldR > 0 && warmR > 0)
+        printf ",\n  \"pipeline_warm_riter_ratio_vs_cold\": %.2f", warmR / coldR
     if (serial > 0)
         printf ",\n  \"note\": \"64-trial analytic grid; parallel speedup (emitted only on multi-core runs) tracks the recording machine's core count, warm-cache speedup is the content-addressed cache fast path with zero solver calls\""
     else if (live > 0)
         printf ",\n  \"note\": \"kernel baselines: RMatrix* solve the logarithmic-reduction R on small/medium/large block orders (Pre = vendored pre-change allocating kernel), ConvolveAll builds the Theorem 4.1 intervisit chain, SolveFixedPoint runs the Theorem 4.3 fixed point end to end\""
+    else if (cold > 0)
+        printf ",\n  \"note\": \"64-trial analytic grid on one worker: Cold runs the staged pipeline with the cold R ladder every solve, Warm reorders trials for locality and continues each class R from the previous iterate (certified post-hoc); Riters_per_solve is the mean R-matrix iteration count per QBD solve\""
     printf "\n}\n"
 }
