@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-full ci fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-compare
+.PHONY: build vet test race race-full ci fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-compare
 
 build:
 	$(GO) build ./...
@@ -29,14 +29,19 @@ race-full:
 # and internal/sweep, the concurrency-heavy subsystem. The explicit
 # race-mode pass over sweep and certify re-runs the fault-injection and
 # degradation paths, whose hooks and worker pool are the likeliest place
-# for a data race to hide.
+# for a data race to hide. internal/serve joins the explicit list: the
+# daemon's handlers, flight group, shard pool and shutdown path are all
+# concurrent by construction.
 ci: build vet race
-	$(GO) vet ./... && $(GO) test -race -count 1 ./internal/sweep/ ./internal/certify/ ./internal/core/
+	$(GO) vet ./... && $(GO) test -race -count 1 ./internal/sweep/ ./internal/certify/ ./internal/core/ ./internal/serve/
 
-# fuzz-short is the certification-soundness smoke: 30 seconds of random
-# QBD generator blocks must never produce a certified-but-invalid R.
+# fuzz-short is the soundness smoke: 30 seconds of random QBD generator
+# blocks must never produce a certified-but-invalid R, and 30 seconds of
+# random request bodies must never crash the daemon's decoder or produce
+# an untyped rejection (every decode error must map to a 400).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRMatrixCertify -fuzztime 30s ./internal/certify/
+	$(GO) test -run '^$$' -fuzz FuzzDecodeSolveRequest -fuzztime 30s ./internal/serve/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -73,6 +78,19 @@ bench-pipeline:
 	awk -f scripts/benchjson.awk bench_pipeline.out > BENCH_pipeline.json
 	rm -f bench_pipeline.out
 	cat BENCH_pipeline.json
+
+# bench-serve regenerates the committed serving-path baseline
+# (BENCH_serve.json): full HTTP round trips through gangserved's engine
+# on the three answer paths — cold-session solve, warm-shard solve
+# (structure reuse + warm-started R), and memo cache hit (zero solver
+# calls). -count 3 interleaves them; benchjson.awk keeps each
+# benchmark's best run.
+bench-serve:
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSolve' -benchmem -benchtime 1s -count 3 \
+		./internal/serve | tee bench_serve.out
+	awk -f scripts/benchjson.awk bench_serve.out > BENCH_serve.json
+	rm -f bench_serve.out
+	cat BENCH_serve.json
 
 # bench-compare runs the kernel benchmarks fresh and diffs them against
 # the committed BENCH_kernel.json so regressions stand out line by line

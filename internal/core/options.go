@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/certify"
 	"repro/internal/qbd"
@@ -137,4 +138,42 @@ func (c *Counters) Add(o Counters) {
 	c.WarmSolves += o.WarmSolves
 	c.ColdSolves += o.ColdSolves
 	c.WarmAccepted += o.WarmAccepted
+}
+
+// AtomicCounters is the race-safe Counters accumulator: the owning
+// goroutine Adds per-solve deltas while any number of other goroutines
+// Snapshot concurrently — the gangserved /metrics scrape reads every
+// shard's live session mid-solve. Each field is an independent atomic,
+// so a Snapshot taken during an Add may be torn *across* fields (e.g.
+// Solves already bumped, RIterations not yet); every individual field is
+// still a value that was, or will momentarily be, correct, which is all
+// a monotone metrics counter needs.
+type AtomicCounters struct {
+	builds, refills, solves, rIterations,
+	warmSolves, coldSolves, warmAccepted atomic.Int64
+}
+
+// Add accumulates a run's counters. Safe for concurrent use.
+func (a *AtomicCounters) Add(c Counters) {
+	a.builds.Add(int64(c.Builds))
+	a.refills.Add(int64(c.Refills))
+	a.solves.Add(int64(c.Solves))
+	a.rIterations.Add(int64(c.RIterations))
+	a.warmSolves.Add(int64(c.WarmSolves))
+	a.coldSolves.Add(int64(c.ColdSolves))
+	a.warmAccepted.Add(int64(c.WarmAccepted))
+}
+
+// Snapshot returns the accumulated totals as a plain Counters value.
+// Safe for concurrent use.
+func (a *AtomicCounters) Snapshot() Counters {
+	return Counters{
+		Builds:       int(a.builds.Load()),
+		Refills:      int(a.refills.Load()),
+		Solves:       int(a.solves.Load()),
+		RIterations:  int(a.rIterations.Load()),
+		WarmSolves:   int(a.warmSolves.Load()),
+		ColdSolves:   int(a.coldSolves.Load()),
+		WarmAccepted: int(a.warmAccepted.Load()),
+	}
 }

@@ -24,7 +24,9 @@ import (
 // bit-for-bit the one-shot Solve.
 //
 // A Session is not safe for concurrent use; run one per goroutine
-// (the sweep harness threads one per worker). Results returned by
+// (the sweep harness threads one per worker; gangserved one per shard).
+// The single exception is Counters, which is race-safe so a metrics
+// scraper can read a live session mid-solve. Results returned by
 // earlier Resolve calls stay valid after later ones: their measures
 // read the immutable qbd.Solution and layout, not the refilled
 // generator entries.
@@ -32,7 +34,7 @@ type Session struct {
 	opts     SolveOptions
 	ws       *matrix.Workspace
 	classes  []sessionClass
-	counters Counters
+	counters AtomicCounters
 }
 
 // sessionClass is the per-class state a Session carries between solves.
@@ -113,8 +115,10 @@ func (s *Session) override(opts SolveOptions) (SolveOptions, error) {
 }
 
 // Counters returns the session's cumulative pipeline statistics across
-// all Resolve calls so far.
-func (s *Session) Counters() Counters { return s.counters }
+// all Resolve calls so far. Unlike every other Session method it is safe
+// for concurrent use — the accumulator is atomic, so a /metrics scrape
+// can read a session owned by another goroutine mid-solve.
+func (s *Session) Counters() Counters { return s.counters.Snapshot() }
 
 // resolve is the top of the staged pipeline: count the call, validate
 // the model, sync per-class session state, then run the fixed point.

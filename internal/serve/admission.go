@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is the admission controller: a classic token bucket that
+// sheds load with 429 + Retry-After instead of queueing it. Admission
+// runs before decoding — shedding is the cheapest thing the server does,
+// which is the point of doing it at all.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second; <= 0 means unlimited
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+	now    func() time.Time // injectable for tests
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if burst < 1 {
+		burst = 1
+	}
+	b := &tokenBucket{rate: rate, burst: float64(burst), now: time.Now}
+	b.tokens = b.burst
+	return b
+}
+
+// allow consumes one token if available. When the bucket is empty it
+// returns false and the wait until the next token accrues — the
+// Retry-After the client is told.
+func (b *tokenBucket) allow() (ok bool, retryAfter time.Duration) {
+	if b == nil || b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces identical in-flight solves, singleflight-style:
+// the first request for a key becomes the leader and runs the solve;
+// requests for the same key arriving before it finishes join the flight
+// and share the leader's answer. Joiners keep their own deadlines — a
+// joiner whose context expires abandons the flight with 504 while the
+// leader solves on.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+type flight struct {
+	done    chan struct{}
+	waiters int
+	resp    *SolveResponse
+	err     error
+}
+
+// do runs fn for key unless an identical flight is already in the air.
+// joined reports whether this call shared another request's solve.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*SolveResponse, error)) (resp *SolveResponse, err error, joined bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if fl, ok := g.m[key]; ok {
+		fl.waiters++
+		g.mu.Unlock()
+		select {
+		case <-fl.done:
+			return fl.resp, fl.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	fl := &flight{done: make(chan struct{})}
+	g.m[key] = fl
+	g.mu.Unlock()
+
+	fl.resp, fl.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(fl.done)
+	return fl.resp, fl.err, false
+}
+
+// waiters reports how many requests are parked on key's in-flight solve
+// — instrumentation for the coalescing tests, which hold the leader at
+// the solve gate until every sibling has joined.
+func (g *flightGroup) waitersFor(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.m[key]; ok {
+		return fl.waiters
+	}
+	return 0
+}
+
+// inFlightCount reports how many distinct solves are in the air — the
+// shutdown tests poll it to know a request has reached the solve stage.
+func (g *flightGroup) inFlightCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

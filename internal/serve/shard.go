@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/certify"
+	"repro/internal/core"
+	"repro/internal/qbd"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// testHookBeforeSolve, when non-nil, is called by a shard immediately
+// before it solves a task. Tests install a blocking hook to hold a solve
+// in flight deterministically (coalescing, deadline and drain proofs).
+var testHookBeforeSolve func(t sweep.Trial)
+
+// task is one solve handed to a shard. out is buffered so a shard can
+// always deliver its answer and move on, even when the waiter gave up at
+// its deadline.
+type task struct {
+	trial         sweep.Trial
+	allowDegraded bool
+	ctx           context.Context
+	out           chan taskResult
+}
+
+type taskResult struct {
+	resp *SolveResponse
+	err  error
+}
+
+// shard is one warm solver worker: a goroutine owning a core.Session.
+// All requests with the same structural signature route to the same
+// shard, so the session's per-class chains refill in place and each
+// solve warm-starts from the shard's last converged R for that
+// structure.
+type shard struct {
+	id    int
+	tasks chan *task
+	ses   *core.Session
+}
+
+// pool is the set of shards plus the close handshake. The mutex
+// serializes dispatch sends against close: close() takes the write lock
+// after flipping closed, so no dispatch can be mid-send on a channel
+// being closed.
+type pool struct {
+	shards []*shard
+	warm   bool
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// newPool starts n shard workers. warm=false runs every solve cold
+// (sessions still reuse chain structure; only the R warm-start is off) —
+// the A/B lever the serving benchmark uses.
+func newPool(n int, warm bool) (*pool, error) {
+	p := &pool{warm: warm}
+	for i := 0; i < n; i++ {
+		ses, err := core.NewSession(core.SolveOptions{WarmStart: warm})
+		if err != nil {
+			return nil, err
+		}
+		sh := &shard{id: i, tasks: make(chan *task, 64), ses: ses}
+		p.shards = append(p.shards, sh)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for tk := range sh.tasks {
+				tk.out <- runTask(sh, tk, warm)
+			}
+		}()
+	}
+	return p, nil
+}
+
+func runTask(sh *shard, tk *task, warm bool) taskResult {
+	if err := tk.ctx.Err(); err != nil {
+		// The waiter is already gone; don't burn solver time on it.
+		return taskResult{err: err}
+	}
+	if hook := testHookBeforeSolve; hook != nil {
+		hook(tk.trial)
+	}
+	resp, err := solveTrial(sh.ses, tk.trial, tk.allowDegraded, warm)
+	if resp != nil {
+		resp.Shard = sh.id
+	}
+	return taskResult{resp: resp, err: err}
+}
+
+// shardFor routes a trial to its home shard: an FNV-1a hash of the
+// structural signature, so equal-structure requests always share a
+// session and its warm state.
+func (p *pool) shardFor(t sweep.Trial) int {
+	h := fnv.New32a()
+	h.Write([]byte(sweep.StructuralKey(t)))
+	return int(h.Sum32() % uint32(len(p.shards)))
+}
+
+// dispatch routes the trial to its shard and waits for the answer or the
+// request's deadline, whichever comes first. A task whose waiter left at
+// the deadline is still solved (the shard was already committed) but its
+// buffered out channel lets the shard move on immediately.
+func (p *pool) dispatch(ctx context.Context, t sweep.Trial, allowDegraded bool) (*SolveResponse, error) {
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return nil, errDraining
+	}
+	tk := &task{trial: t, allowDegraded: allowDegraded, ctx: ctx, out: make(chan taskResult, 1)}
+	sh := p.shards[p.shardFor(t)]
+	select {
+	case sh.tasks <- tk:
+		p.mu.RUnlock()
+	case <-ctx.Done():
+		p.mu.RUnlock()
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-tk.out:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// counters sums the pipeline statistics of every shard's live session —
+// the /metrics scrape path, safe mid-solve because Session.Counters is
+// atomic.
+func (p *pool) counters() core.Counters {
+	var c core.Counters
+	for _, sh := range p.shards {
+		c.Add(sh.ses.Counters())
+	}
+	return c
+}
+
+// close stops accepting work, lets every shard finish its queue, and
+// waits for the workers to exit.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	for _, sh := range p.shards {
+		close(sh.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// solveTrial runs one request on a shard's session and shapes the
+// response: per-class measures with certificates, the sim fallback for
+// failed classes when the request (and server) opted in, and the solve's
+// pipeline counters. Mirrors sweep.execute's failure handling so served
+// and batch answers fail the same way.
+func solveTrial(ses *core.Session, t sweep.Trial, allowDegraded, warm bool) (*SolveResponse, error) {
+	m, err := t.Scenario.Model()
+	if err != nil {
+		return nil, &certify.Failure{Kind: certify.ErrConfig, Stage: "serve.model", Err: err}
+	}
+	copts := t.Solve.CoreOptions()
+	copts.WarmStart = warm
+	var res *core.Result
+	var serr error
+	if t.Method == sweep.MethodHeavy {
+		res, serr = ses.ResolveHeavyTraffic(m, copts)
+	} else {
+		res, serr = ses.ResolveWith(m, copts)
+	}
+	if serr != nil && !errors.Is(serr, core.ErrAllUnstable) {
+		if res == nil || len(failedClasses(res)) == 0 {
+			return nil, serr
+		}
+	}
+
+	resp := &SolveResponse{
+		Key:        t.Key(),
+		Method:     t.Method,
+		Iterations: res.Iterations,
+		MeanCycle:  res.MeanCycle,
+		Counters:   res.Counters,
+		// All-unstable is a definitive verdict, not a failed iteration:
+		// the answer ("this load admits no stationary regime") is final,
+		// so it serves as 200 with every class marked unstable.
+		Converged: res.Converged || t.Method == sweep.MethodHeavy ||
+			errors.Is(serr, core.ErrAllUnstable),
+	}
+
+	failed := failedClasses(res)
+	var simRes *sim.Result
+	if len(failed) > 0 {
+		if !allowDegraded {
+			errs := make([]error, 0, len(failed))
+			for _, p := range failed {
+				errs = append(errs, fmt.Errorf("class %d: %w", p, res.Classes[p].Err))
+			}
+			joined := errors.Join(errs...)
+			if serr != nil && !errors.Is(serr, core.ErrAllUnstable) {
+				joined = errors.Join(serr, joined)
+			}
+			return nil, joined
+		}
+		// Degradation rung: one simulation run replaces exactly the
+		// failed classes' values; healthy classes keep their certified
+		// analytic answers.
+		simRes, err = sim.RunGang(sim.Config{
+			Model: m, Warmup: defaultSimWarmup, Horizon: defaultSimHorizon,
+		})
+		if err != nil {
+			return nil, &certify.Failure{Kind: certify.ErrNumericContaminated,
+				Stage: "serve.degrade", Err: err}
+		}
+		resp.Degraded = true
+	}
+	isFailed := make(map[int]bool, len(failed))
+	for _, p := range failed {
+		isFailed[p] = true
+	}
+
+	for p := range res.Classes {
+		cr := &res.Classes[p]
+		ca := ClassAnswer{Rho: cr.Rho, Certificate: cr.Cert}
+		switch {
+		case isFailed[p]:
+			ca.Stable = true
+			ca.Degraded = true
+			ca.N = simRes.Classes[p].MeanJobs
+			ca.T = simRes.Classes[p].MeanResponse
+			ca.Error = cr.Err.Error()
+			ca.Kind = certify.KindLabel(cr.Err)
+			resp.TotalN += ca.N
+		case cr.Stable:
+			ca.Stable = true
+			ca.N, ca.T = cr.N, cr.T
+			ca.SpectralRadiusR = cr.SpectralRadiusR
+			resp.TotalN += ca.N
+		}
+		resp.Classes = append(resp.Classes, ca)
+	}
+	return resp, nil
+}
+
+// Default simulation window for the degradation rung, matching
+// internal/sweep and internal/experiments.
+const (
+	defaultSimWarmup  = 2e4
+	defaultSimHorizon = 2.2e5
+)
+
+func failedClasses(res *core.Result) []int {
+	if res == nil {
+		return nil
+	}
+	var failed []int
+	for p := range res.Classes {
+		if res.Classes[p].Err != nil {
+			failed = append(failed, p)
+		}
+	}
+	return failed
+}
+
+// values projects a response onto the sweep cache's value map, exactly
+// the shape sweep.execute records, so a served answer and a batch trial
+// are interchangeable in the shared store.
+func (r *SolveResponse) values() map[string]float64 {
+	values := make(map[string]float64, 2*len(r.Classes)+3)
+	for p, ca := range r.Classes {
+		if !ca.Stable {
+			values[fmt.Sprintf("N%d", p)] = sweep.Unstable
+			values[fmt.Sprintf("T%d", p)] = sweep.Unstable
+			continue
+		}
+		values[fmt.Sprintf("N%d", p)] = ca.N
+		values[fmt.Sprintf("T%d", p)] = ca.T
+	}
+	values["totalN"] = r.TotalN
+	values["iterations"] = float64(r.Iterations)
+	values["meanCycle"] = r.MeanCycle
+	return values
+}
+
+// warmAccepted reports whether any class certificate records an accepted
+// warm-start rung — the serving proof that same-signature requests
+// really continue from the shard's previous R.
+func (r *SolveResponse) warmAccepted() bool {
+	for _, ca := range r.Classes {
+		if ca.Certificate != nil && qbd.WarmAccepted(ca.Certificate.Path) {
+			return true
+		}
+	}
+	return false
+}

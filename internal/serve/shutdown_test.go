@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startListener serves s on a real TCP listener (not httptest) so the
+// tests exercise the same Drain path cmd/gangserved runs.
+func startListener(t *testing.T, s *Server) (*http.Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	go hs.Serve(ln)
+	return hs, "http://" + ln.Addr().String()
+}
+
+// TestDrainCompletesInFlight proves a graceful drain waits for the
+// in-flight solve: the response is delivered intact, the drain returns
+// nil, and the listener stops accepting afterwards.
+func TestDrainCompletesInFlight(t *testing.T) {
+	s, err := New(Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, url := startListener(t, s)
+	release := gateSolves(t)
+
+	body := `{"scenario":{"processors":2,"classes":[{"partition":1,"lambda":0.4,"mu":1,"quantumMean":1,"overheadMean":0.01}]}}`
+	type result struct {
+		code int
+		resp SolveResponse
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- result{code: -1}
+			return
+		}
+		defer resp.Body.Close()
+		var sr SolveResponse
+		json.NewDecoder(resp.Body).Decode(&sr)
+		done <- result{code: resp.StatusCode, resp: sr}
+	}()
+
+	// Wait until the request is parked at the solve gate, then drain.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flights.inFlightCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- Drain(ctx, hs, s)
+	}()
+
+	// The drain must not complete while the solve is held at the gate.
+	select {
+	case err := <-drained:
+		t.Fatalf("drain returned %v with a request in flight", err)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	release()
+	r := <-done
+	if r.code != http.StatusOK || !r.resp.Converged {
+		t.Fatalf("in-flight request during drain: code %d resp %+v", r.code, r.resp)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// New connections must be refused once drained.
+	if _, err := http.Get(url + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after drain")
+	}
+}
+
+// TestDrainDeadline proves a drain bounded by a context gives up waiting
+// at the deadline and reports it, while the stuck request still gets its
+// answer once the solver frees up.
+func TestDrainDeadline(t *testing.T) {
+	s, err := New(Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs, url := startListener(t, s)
+	release := gateSolves(t)
+
+	body := `{"scenario":{"processors":2,"classes":[{"partition":1,"lambda":0.4,"mu":1,"quantumMean":1,"overheadMean":0.01}]}}`
+	done := make(chan int, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/solve", "application/json", strings.NewReader(body))
+		if err != nil {
+			done <- -1
+			return
+		}
+		resp.Body.Close()
+		done <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.flights.inFlightCount() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+		defer cancel()
+		drained <- Drain(ctx, hs, s)
+	}()
+	// Give the deadline time to fire, then free the solver; only now can
+	// the pool close and Drain return.
+	time.Sleep(200 * time.Millisecond)
+	release()
+	if err := <-drained; !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain error %v, want context.DeadlineExceeded", err)
+	}
+	if code := <-done; code != http.StatusOK {
+		t.Fatalf("held request finished with %d", code)
+	}
+}
+
+// TestShutdownOnSignalGraceful: one signal, drain succeeds, nil error.
+func TestShutdownOnSignalGraceful(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	go func() { sig <- syscall.SIGTERM }()
+	err := ShutdownOnSignal(sig, time.Second,
+		func(ctx context.Context) error { return nil },
+		func() { t.Error("force called on a clean drain") })
+	if err != nil {
+		t.Fatalf("err %v", err)
+	}
+}
+
+// TestShutdownOnSignalForce: the drain hangs, a second signal fires the
+// force hook and returns ErrForced without waiting for the drain.
+func TestShutdownOnSignalForce(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	hang := make(chan struct{})
+	defer close(hang)
+	forced := make(chan struct{})
+	go func() {
+		sig <- syscall.SIGTERM
+		sig <- syscall.SIGTERM
+	}()
+	err := ShutdownOnSignal(sig, time.Minute,
+		func(ctx context.Context) error { <-hang; return nil },
+		func() { close(forced) })
+	if !errors.Is(err, ErrForced) {
+		t.Fatalf("err %v, want ErrForced", err)
+	}
+	select {
+	case <-forced:
+	default:
+		t.Fatal("force hook not called")
+	}
+}
+
+// TestShutdownOnSignalDrainError: the drain's own failure propagates.
+func TestShutdownOnSignalDrainError(t *testing.T) {
+	sig := make(chan os.Signal, 2)
+	go func() { sig <- syscall.SIGTERM }()
+	boom := fmt.Errorf("boom")
+	err := ShutdownOnSignal(sig, time.Second,
+		func(ctx context.Context) error { return boom },
+		func() {})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err %v, want boom", err)
+	}
+}

@@ -1,0 +1,62 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"repro/internal/certify"
+)
+
+// errDraining is returned by dispatch when the shard pool is shutting
+// down; it maps to 503 so clients know to retry elsewhere.
+var errDraining = errors.New("serve: draining, not accepting new solves")
+
+// kindStatus maps every certify failure kind to its HTTP status, in the
+// taxonomy's classification-priority order (config and contamination
+// trump the softer kinds when an error chain carries several, matching
+// certify.Classify). The serve_test exhaustiveness test locks this table
+// to the full KindLabel list, so adding a sixth sentinel to certify
+// without deciding its status here fails CI.
+var kindStatus = []struct {
+	Kind   error
+	Label  string // certify.KindLabel of Kind, asserted by test
+	Status int
+}{
+	// The model or request itself is invalid: client error.
+	{certify.ErrConfig, "config", http.StatusBadRequest},
+	// NaN/Inf contamination or lost mass: the solver broke, not the
+	// request.
+	{certify.ErrNumericContaminated, "numeric", http.StatusInternalServerError},
+	// A singular boundary system is likewise a numeric breakdown.
+	{certify.ErrSingularBoundary, "singular-boundary", http.StatusInternalServerError},
+	// The model is well-formed but this workload admits no stationary
+	// answer / no certified answer at this budget: the request is
+	// unprocessable as posed, a bigger budget or different load may cure
+	// it.
+	{certify.ErrUnstableClass, "unstable", http.StatusUnprocessableEntity},
+	{certify.ErrNotConverged, "not-converged", http.StatusUnprocessableEntity},
+}
+
+// statusFor maps a solver-path error to its HTTP status: deadline and
+// cancellation first (they are transport verdicts, whatever stage they
+// interrupted), then the failure taxonomy, then 500 for anything
+// untyped.
+func statusFor(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	}
+	for _, e := range kindStatus {
+		if errors.Is(err, e.Kind) {
+			return e.Status
+		}
+	}
+	return http.StatusInternalServerError
+}

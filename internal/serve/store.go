@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// store is the server's two-tier content-addressed answer store.
+//
+// The memo tier holds full SolveResponses — certificates and all — for
+// every healthy answer this process produced, warm or cold. The disk
+// tier is a PR 1 sweep.Cache shared with gangsweep batch runs: the
+// server always reads it (a sweep's cold trial answers requests for the
+// same parameters with zero solver calls), but writes only cold-session
+// answers to it. Warm-started results are certified yet may differ from
+// a cold solve within the certification tolerance, and the sweep cache's
+// contract is "cold-certified values only" — that is what keeps cold
+// sweep artifacts byte-identical whether or not a daemon shared the
+// cache directory.
+type store struct {
+	mu   sync.Mutex
+	memo map[string]*SolveResponse
+	cap  int
+	disk *sweep.Cache
+}
+
+func newStore(memoCap int, dir string) (*store, error) {
+	s := &store{memo: make(map[string]*SolveResponse), cap: memoCap}
+	if dir != "" {
+		c, err := sweep.OpenCache(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.disk = c
+	}
+	return s, nil
+}
+
+// get returns a stored answer and its tier ("memo" or "disk"). The
+// returned response is shared and must be treated as immutable; handlers
+// copy the top-level struct before stamping per-request fields.
+func (s *store) get(key string) (*SolveResponse, string, bool) {
+	s.mu.Lock()
+	resp, ok := s.memo[key]
+	s.mu.Unlock()
+	if ok {
+		return resp, "memo", true
+	}
+	if s.disk == nil {
+		return nil, "", false
+	}
+	values, ok := s.disk.Get(key)
+	if !ok {
+		return nil, "", false
+	}
+	return responseFromValues(key, values), "disk", true
+}
+
+// put stores a healthy answer. coldCertified additionally writes the
+// values to the shared disk tier — only ever true for answers a cold
+// session produced.
+func (s *store) put(key string, resp *SolveResponse, coldCertified bool) error {
+	s.mu.Lock()
+	if _, ok := s.memo[key]; !ok && len(s.memo) < s.cap {
+		s.memo[key] = resp
+	}
+	s.mu.Unlock()
+	if coldCertified && s.disk != nil {
+		return s.disk.Put(key, resp.values())
+	}
+	return nil
+}
+
+func (s *store) memoLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.memo)
+}
+
+func (s *store) diskLen() int {
+	if s.disk == nil {
+		return 0
+	}
+	return s.disk.Len()
+}
+
+func (s *store) close() error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Close()
+}
+
+// responseFromValues rehydrates a response from the sweep cache's value
+// map. The values tier stores numbers only, so the rehydrated classes
+// carry no certificates — the response says so via CacheTier "disk".
+func responseFromValues(key string, values map[string]float64) *SolveResponse {
+	resp := &SolveResponse{
+		Key:        key,
+		Method:     sweep.MethodAnalytic,
+		Converged:  true,
+		Iterations: int(values["iterations"]),
+		TotalN:     values["totalN"],
+		MeanCycle:  values["meanCycle"],
+	}
+	for p := 0; ; p++ {
+		n, ok := values[fmt.Sprintf("N%d", p)]
+		if !ok {
+			break
+		}
+		ca := ClassAnswer{}
+		if n != sweep.Unstable {
+			ca.Stable = true
+			ca.N = n
+			ca.T = values[fmt.Sprintf("T%d", p)]
+		}
+		resp.Classes = append(resp.Classes, ca)
+	}
+	return resp
+}

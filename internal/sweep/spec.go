@@ -18,6 +18,7 @@ package sweep
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -115,8 +116,10 @@ func (s Scenario) Model() (*core.Model, error) {
 // distFor builds a distribution with the given mean; scv 0 or 1 means
 // exponential, otherwise a two-moment fit.
 func distFor(mean, scv float64) (*phase.Dist, error) {
-	if mean <= 0 {
-		return nil, fmt.Errorf("mean %g, want > 0", mean)
+	// A zero rate inverts to mean +Inf, which would otherwise slip past
+	// the positivity check and panic in the phase constructors.
+	if !(mean > 0) || math.IsInf(mean, 0) {
+		return nil, fmt.Errorf("mean %g, want finite > 0", mean)
 	}
 	if scv == 0 || scv == 1 {
 		return phase.Exponential(1 / mean), nil
@@ -212,6 +215,12 @@ func SolveParamsFrom(o core.SolveOptions) SolveParams {
 		TruncationCap:       o.TruncationCap,
 	}
 }
+
+// CoreOptions expands the serializable subset into core.SolveOptions
+// (the QBD R-matrix options keep their defaults). Exported for
+// internal/serve, whose shards drive core Sessions from wire-format
+// trials.
+func (p SolveParams) CoreOptions() core.SolveOptions { return p.coreOptions() }
 
 func (p SolveParams) coreOptions() core.SolveOptions {
 	return core.SolveOptions{

@@ -8,15 +8,16 @@ import (
 	"repro/internal/core"
 )
 
-// structuralKey fingerprints everything about a trial that determines
+// StructuralKey fingerprints everything about a trial that determines
 // its solver structure — method, processors, partitioning, distribution
 // shapes (SCVs), batch support — with the rates-only parameters
 // (lambda, mu, quantum/overhead means, batch probabilities) zeroed out.
 // Trials with equal keys build identical state spaces, so a session can
 // refill generators in place and carry R iterates between them; keying
 // on the SCVs is conservative (distinct SCVs can fit the same phase
-// order), which only costs reuse, never correctness.
-func structuralKey(t Trial) string {
+// order), which only costs reuse, never correctness. Exported for
+// internal/serve, which shards requests onto warm sessions by this key.
+func StructuralKey(t Trial) string {
 	sc := t.Scenario.clone()
 	for i := range sc.Classes {
 		c := &sc.Classes[i]
@@ -47,7 +48,7 @@ func warmOrder(trials []Trial) []int {
 	var keys []string
 	groups := make(map[string][]int)
 	for i := range trials {
-		k := structuralKey(trials[i])
+		k := StructuralKey(trials[i])
 		if _, seen := groups[k]; !seen {
 			keys = append(keys, k)
 		}

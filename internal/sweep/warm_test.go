@@ -59,7 +59,7 @@ func TestWarmOrderGroupsStructures(t *testing.T) {
 	closed := make(map[string]bool)
 	last := ""
 	for _, idx := range order {
-		k := structuralKey(trials[idx])
+		k := StructuralKey(trials[idx])
 		if k != last {
 			if closed[k] {
 				t.Fatalf("structural group %q split across the order", k)
@@ -79,7 +79,7 @@ func TestWarmOrderGroupsStructures(t *testing.T) {
 	// the whole lambda range between adjacent steps.
 	for i := 1; i < len(order); i++ {
 		a, b := trials[order[i-1]], trials[order[i]]
-		if structuralKey(a) != structuralKey(b) {
+		if StructuralKey(a) != StructuralKey(b) {
 			continue
 		}
 		if math.Abs(a.Point["lambda"]-b.Point["lambda"]) > 0.30001 {

@@ -94,11 +94,20 @@ END {
     warmR = metric["PipelineWarm", "Riters_per_solve"]
     if (coldR > 0 && warmR > 0)
         printf ",\n  \"pipeline_warm_riter_ratio_vs_cold\": %.2f", warmR / coldR
+    scold = metric["ServeSolveCold", "ns_per_op"]
+    swarm = metric["ServeSolveWarm", "ns_per_op"]
+    shit = metric["ServeSolveCacheHit", "ns_per_op"]
+    if (scold > 0 && swarm > 0)
+        printf ",\n  \"serve_warm_speedup_vs_cold\": %.2f", scold / swarm
+    if (swarm > 0 && shit > 0)
+        printf ",\n  \"serve_cachehit_speedup_vs_warm\": %.2f", swarm / shit
     if (serial > 0)
         printf ",\n  \"note\": \"64-trial analytic grid; parallel speedup (emitted only on multi-core runs) tracks the recording machine's core count, warm-cache speedup is the content-addressed cache fast path with zero solver calls\""
     else if (live > 0)
         printf ",\n  \"note\": \"kernel baselines: RMatrix* solve the logarithmic-reduction R on small/medium/large block orders (Pre = vendored pre-change allocating kernel), ConvolveAll builds the Theorem 4.1 intervisit chain, SolveFixedPoint runs the Theorem 4.3 fixed point end to end\""
     else if (cold > 0)
         printf ",\n  \"note\": \"64-trial analytic grid on one worker: Cold runs the staged pipeline with the cold R ladder every solve, Warm reorders trials for locality and continues each class R from the previous iterate (certified post-hoc); Riters_per_solve is the mean R-matrix iteration count per QBD solve\""
+    else if (scold > 0)
+        printf ",\n  \"note\": \"full HTTP round trips through gangserved on one shard: Cold solves never-seen scenarios on cold sessions, Warm solves never-seen scenarios on a warm shard (chain refill + warm-started R), CacheHit serves the identical scenario from the memo tier with zero solver calls\""
     printf "\n}\n"
 }
