@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-full ci fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-compare
+.PHONY: build vet test race race-full ci fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-compare
 
 build:
 	$(GO) build ./...
@@ -31,9 +31,15 @@ race-full:
 # degradation paths, whose hooks and worker pool are the likeliest place
 # for a data race to hide. internal/serve joins the explicit list: the
 # daemon's handlers, flight group, shard pool and shutdown path are all
-# concurrent by construction.
+# concurrent by construction. The GOMAXPROCS=4 passes re-run the
+# per-class parallel-solve property tests and the striped-cache stress
+# with four Ps even on a 1-CPU machine, so the worker group, the
+# per-class workspace arenas and the cache stripes are raced with real
+# interleaving rather than cooperative single-P scheduling.
 ci: build vet race
 	$(GO) vet ./... && $(GO) test -race -count 1 ./internal/sweep/ ./internal/certify/ ./internal/core/ ./internal/serve/
+	GOMAXPROCS=4 $(GO) test -race -count 1 ./internal/core/
+	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'TestCache' ./internal/sweep/
 
 # fuzz-short is the soundness smoke: 30 seconds of random QBD generator
 # blocks must never produce a certified-but-invalid R, and 30 seconds of
@@ -91,6 +97,28 @@ bench-serve:
 	awk -f scripts/benchjson.awk bench_serve.out > BENCH_serve.json
 	rm -f bench_serve.out
 	cat BENCH_serve.json
+
+# bench-scale regenerates the committed multi-core scaling matrix
+# (BENCH_scale.json): the parallel fixed point (per-class dispatch), the
+# parallel sweep pool and the warm serve path at GOMAXPROCS 1/2/4/8,
+# plus the panel-kernel A/B (fma/avx2/sse2/go). Records keep their -N
+# variant, so the JSON carries per-row gomaxprocs and a scaling_vs_1cpu
+# table. On a single-CPU machine the GOMAXPROCS rows are honest
+# negatives (~1.0, one core cannot scale) while the kernel A/B still
+# measures real SIMD gains; the note field says which machine recorded
+# the file.
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkSolveFixedPointParallel' -benchmem -benchtime 1s -count 1 \
+		-cpu 1,2,4,8 ./internal/core | tee bench_scale.out
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepParallel$$' -benchmem -benchtime 1s -count 1 \
+		-cpu 1,2,4,8 ./internal/sweep | tee -a bench_scale.out
+	$(GO) test -run '^$$' -bench 'BenchmarkServeSolveWarm$$' -benchmem -benchtime 1s -count 1 \
+		-cpu 1,2,4,8 ./internal/serve | tee -a bench_scale.out
+	$(GO) test -run '^$$' -bench 'BenchmarkPanelKernel' -benchmem -benchtime 1s -count 1 \
+		./internal/matrix | tee -a bench_scale.out
+	awk -f scripts/benchjson.awk bench_scale.out > BENCH_scale.json
+	rm -f bench_scale.out
+	cat BENCH_scale.json
 
 # bench-compare runs the kernel benchmarks fresh and diffs them against
 # the committed BENCH_kernel.json so regressions stand out line by line

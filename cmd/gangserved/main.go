@@ -57,6 +57,7 @@ func main() {
 		cacheDir    = flag.String("cache-dir", "", "shared content-addressed answer store (gangsweep cache format)")
 		memoCap     = flag.Int("memo-cap", 4096, "in-process full-response memo capacity")
 		sweepWork   = flag.Int("sweep-workers", 0, "max workers per /v1/sweep (0 = GOMAXPROCS)")
+		solvePar    = flag.Int("parallel", 1, "per-class parallelism inside each solve (1 = serial, shards carry the concurrency; -1 = GOMAXPROCS); answers are bit-identical either way")
 		sweepTrials = flag.Int("max-sweep-trials", 4096, "largest grid a single /v1/sweep may expand to")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound after the first signal")
 	)
@@ -78,6 +79,7 @@ func main() {
 		MemoCap:        *memoCap,
 		SweepWorkers:   *sweepWork,
 		MaxSweepTrials: *sweepTrials,
+		SolveParallel:  *solvePar,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gangserved:", err)

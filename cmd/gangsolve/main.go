@@ -25,6 +25,7 @@ func main() {
 		classes  = flag.String("classes", "g=1,lam=0.4,mu=0.5,q=2;g=2,lam=0.4,mu=1,q=2;g=4,lam=0.4,mu=2,q=2;g=8,lam=0.4,mu=4,q=2", "semicolon-separated class specs: g=<partition>,lam=<epoch rate>,mu=<rate>,q=<mean quantum>[,b=<constant batch size>]")
 		overhead = flag.Float64("overhead", 0.01, "mean context-switch overhead")
 		heavy    = flag.Bool("heavy", false, "heavy-traffic solution only (no fixed point)")
+		parallel = flag.Int("parallel", 0, "per-class solve parallelism: 0 = GOMAXPROCS, 1 = serial; any value gives bit-identical results")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 	if *heavy {
 		solve = core.SolveHeavyTraffic
 	}
-	res, err := solve(m, core.SolveOptions{})
+	res, err := solve(m, core.SolveOptions{Parallel: *parallel})
 	if err != nil && err != core.ErrAllUnstable {
 		fail(err)
 	}

@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -66,6 +67,7 @@ func main() {
 		strict   = flag.Bool("strict", false, "treat every certification failure as a hard trial error (no degradation)")
 		degraded = flag.Bool("allow-degraded", false, "after retries, fall back to simulation for classes whose analytic solve failed certification (results flagged degraded, never cached)")
 		warm     = flag.Bool("warm", false, "order trials for locality and warm-start each worker's solves from the previous trial's R matrix (certified; results may differ from a cold run within tolerance, so warm results are never cached)")
+		solvePar = flag.Int("solve-parallel", 1, "per-class parallelism inside each analytic solve (<=1 = serial; the trial pool is the primary axis); results are bit-identical either way")
 	)
 	flag.Parse()
 	if *strict && *degraded {
@@ -84,7 +86,11 @@ func main() {
 	spec, err := sweep.LoadSpec(*specPath)
 	fail(err)
 
-	opts := sweep.Options{Workers: *parallel, Strict: *strict, AllowDegraded: *degraded, WarmStart: *warm}
+	opts := sweep.Options{Workers: *parallel, Strict: *strict, AllowDegraded: *degraded,
+		WarmStart: *warm, SolveParallel: *solvePar}
+	if *parallel > 1 && runtime.GOMAXPROCS(0) == 1 {
+		fmt.Fprintf(os.Stderr, "gangsweep: warning: -parallel %d on GOMAXPROCS=1 — the pool serializes on one CPU and is pure overhead; expect slower than -parallel 1 (noted in the manifest)\n", *parallel)
+	}
 	if *cacheDir != "" {
 		cache, err := sweep.OpenCache(*cacheDir)
 		fail(err)

@@ -5,6 +5,7 @@ package core_test
 // Committed numbers live in BENCH_kernel.json (`make bench-kernel`).
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/core"
@@ -45,5 +46,50 @@ func BenchmarkSolveFixedPoint(b *testing.B) {
 		if !res.Converged {
 			b.Fatal("fixed point did not converge")
 		}
+	}
+}
+
+// benchModelL builds an L-class machine for the multi-core scaling
+// matrix: every class stable, PH shapes varied so the per-class QBDs
+// carry real work.
+func benchModelL(l int) *core.Model {
+	m := &core.Model{Processors: 8}
+	for p := 0; p < l; p++ {
+		svc := phase.Exponential(1.5)
+		if p%2 == 1 {
+			svc = phase.Erlang(2, 1.5)
+		}
+		m.Classes = append(m.Classes, core.ClassParams{
+			Partition: []int{2, 4, 8, 1}[p%4],
+			Arrival:   phase.Exponential(0.12),
+			Service:   svc,
+			Quantum:   phase.Exponential(1),
+			Overhead:  phase.Exponential(100),
+		})
+	}
+	return m
+}
+
+// BenchmarkSolveFixedPointParallel is the `make bench-scale` unit: the
+// Theorem 4.3 fixed point with Parallel: 0, so the per-class dispatch
+// width follows GOMAXPROCS (`-cpu 1,2,4,8`). The committed matrix lives
+// in BENCH_scale.json; on single-CPU hardware the rows are flat and the
+// file says so.
+func BenchmarkSolveFixedPointParallel(b *testing.B) {
+	for _, l := range []int{4, 8} {
+		b.Run(fmt.Sprintf("L%d", l), func(b *testing.B) {
+			m := benchModelL(l)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Solve(m, core.SolveOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Converged {
+					b.Fatal("fixed point did not converge")
+				}
+			}
+		})
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync/atomic"
 
 	"repro/internal/certify"
@@ -44,6 +45,31 @@ type SolveOptions struct {
 	// ladder. Off by default so one-shot solves are bit-for-bit
 	// reproducible against previous releases.
 	WarmStart bool
+	// Parallel bounds the worker group that solves the L independent
+	// per-class QBDs of each fixed-point iteration concurrently. 0 means
+	// GOMAXPROCS, 1 forces the historical serial path; values above the
+	// class count are clamped to it. The classes only couple at the
+	// effective-quantum rebuild barrier, each worker owns a per-class
+	// workspace arena, and results merge back in class order, so any
+	// Parallel value produces bit-for-bit the serial answer — this is an
+	// A/B throughput lever, never a semantics knob.
+	Parallel int
+}
+
+// workers resolves the Parallel knob against the class count l: the
+// size of the per-iteration dispatch group.
+func (o SolveOptions) workers(l int) int {
+	n := o.Parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > l {
+		n = l
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -96,6 +122,8 @@ func (o SolveOptions) Validate() error {
 		return bad("TruncationCap", o.TruncationCap)
 	case o.MaxFitOrder < 0:
 		return bad("MaxFitOrder", o.MaxFitOrder)
+	case o.Parallel < 0:
+		return bad("Parallel", o.Parallel)
 	case o.RMatrix.Tol < 0 || math.IsNaN(o.RMatrix.Tol):
 		return bad("RMatrix.Tol", o.RMatrix.Tol)
 	case o.RMatrix.MaxIter < 0:

@@ -26,7 +26,11 @@ import (
 // A Session is not safe for concurrent use; run one per goroutine
 // (the sweep harness threads one per worker; gangserved one per shard).
 // The single exception is Counters, which is race-safe so a metrics
-// scraper can read a live session mid-solve. Results returned by
+// scraper can read a live session mid-solve. Internally a solve may
+// fan its independent per-class QBDs onto a bounded worker group
+// (SolveOptions.Parallel); that concurrency is owned entirely by the
+// session — each class then works out of its own workspace arena and
+// the caller-facing contract is unchanged. Results returned by
 // earlier Resolve calls stay valid after later ones: their measures
 // read the immutable qbd.Solution and layout, not the refilled
 // generator entries.
@@ -42,6 +46,13 @@ type sessionClass struct {
 	sig   classSig
 	chain *ClassChain
 	lastR *matrix.Dense
+	// ws is the class's private workspace arena, created on first
+	// parallel dispatch. Serial solves keep the session-wide arena (the
+	// historical layout); parallel solves must not share one — the arena
+	// is deliberately unsynchronized — so each class owns scratch sized
+	// to its own chain. Buffers are zeroed at checkout, so which arena
+	// serves a solve never changes a single bit of the answer.
+	ws *matrix.Workspace
 }
 
 // classSig is the structural signature of one class's chain: two models

@@ -130,36 +130,22 @@ func Solve(m *Model, opts SolveOptions) (*Result, error) {
 // runFixedPoint is the pipeline driver: per iteration it runs stages
 // 2–4 for every class (build/refill → QBD solve → quantum extraction),
 // checks convergence of the mean populations, and rebuilds the
-// effective quanta for the next round.
+// effective quanta for the next round. The per-class solves are
+// mutually independent given the iteration's quanta, so they dispatch
+// onto the session's bounded worker group (solveClasses); everything
+// from the convergence check down runs on the driver goroutine.
 func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Result, error) {
 	l := m.NumClasses()
 	quanta := nominalQuanta(m) // effective-quantum stand-ins, heavy-traffic init
 	prevN := make([]float64, l)
 	hist := make([][]quantumParams, l) // recent parameter iterates per class
+	workers := opts.workers(l)
 
 	var res *Result
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
 		res = &Result{Iterations: iter}
 		anyStable := false
-		for p := 0; p < l; p++ {
-			f := IntervisitFrom(m, p, quanta)
-			cr, err := s.solveClass(m, p, f, opts, cnt)
-			if err == nil {
-				// Fault-injection point: tests fail one class here to prove
-				// the solve degrades per class instead of dying whole.
-				err = faultinject.Fire("core.class", p)
-			}
-			if err != nil {
-				// A failed class is carried, not fatal: it keeps its nominal
-				// quantum through the fixed point (like an unstable class)
-				// and surfaces its typed failure for the caller to act on.
-				cr = &ClassResult{Rho: m.ClassUtilization(p), Intervisit: f,
-					Err: &certify.Failure{
-						Kind:  certify.Classify(err, certify.ErrNumericContaminated),
-						Stage: fmt.Sprintf("core.class[%d]", p),
-						Err:   err,
-					}}
-			}
+		for _, cr := range s.solveClasses(m, quanta, opts, workers, cnt) {
 			if cr.Stable {
 				anyStable = true
 				res.TotalN += cr.N

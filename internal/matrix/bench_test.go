@@ -1,0 +1,35 @@
+package matrix
+
+// Kernel A/B benchmark: the same dense multiply through every panel
+// kernel this CPU supports (fma/avx2/sse2/go). `make bench-scale` runs
+// this to put honest AVX2-vs-SSE2 numbers in BENCH_scale.json; the
+// orders bracket the QBD block sizes the solver actually multiplies.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkPanelKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(31))
+	for _, n := range []int{48, 120} {
+		a := randDense(rng, n, n, 1.0)
+		c := randDense(rng, n, n, 1.0)
+		for _, name := range PanelKernels() {
+			restore, ok := ForcePanelKernel(name)
+			if !ok {
+				continue
+			}
+			b.Run(fmt.Sprintf("n%d/%s", n, name), func(b *testing.B) {
+				dst := New(n, n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					MulTo(dst, a, c)
+				}
+			})
+			restore()
+		}
+	}
+}

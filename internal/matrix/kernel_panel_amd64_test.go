@@ -1,0 +1,107 @@
+//go:build amd64
+
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// The dispatch table promise: every bitwise-stable kernel (sse2, avx2)
+// produces exactly the pure-Go panel's bits; the fused kernel (fma) is
+// close but explicitly NOT bitwise, which is why it is opt-in only.
+
+func randPanel(rng *rand.Rand, n, ldb int) (ci, b []float64, a [8]float64) {
+	b = make([]float64, 8*ldb)
+	for i := range b {
+		b[i] = (rng.Float64() - 0.5) * math.Ldexp(1, rng.Intn(20)-10)
+	}
+	for i := range a {
+		a[i] = rng.Float64() - 0.5
+	}
+	ci = make([]float64, n)
+	for i := range ci {
+		ci[i] = rng.Float64() - 0.5
+	}
+	return ci, b, a
+}
+
+func TestPanelKernelsBitwiseIdenticalGo(t *testing.T) {
+	for _, name := range []string{"sse2", "avx2"} {
+		restore, ok := ForcePanelKernel(name)
+		if !ok {
+			t.Logf("kernel %s unsupported on this CPU; skipping", name)
+			continue
+		}
+		if got := PanelKernel(); got != name {
+			restore()
+			t.Fatalf("PanelKernel() = %q after forcing %q", got, name)
+		}
+		rng := rand.New(rand.NewSource(21))
+		for n := 0; n <= 40; n++ { // every octa/quad/pair/scalar tail mix
+			ldb := n + rng.Intn(4) + 1
+			ci, b, a := randPanel(rng, n, ldb)
+			want := append([]float64(nil), ci...)
+			axpyPanel8Go(want, b, ldb, &a)
+			axpyPanel8(ci, b, ldb, &a)
+			for i := range ci {
+				if math.Float64bits(ci[i]) != math.Float64bits(want[i]) {
+					restore()
+					t.Fatalf("%s n=%d ldb=%d: [%d] = %x, want %x (values %g vs %g)",
+						name, n, ldb, i, math.Float64bits(ci[i]), math.Float64bits(want[i]),
+						ci[i], want[i])
+				}
+			}
+		}
+		restore()
+	}
+}
+
+func TestPanelFMACloseButOptInOnly(t *testing.T) {
+	if PanelKernel() == "fma" && os.Getenv("GANG_PANEL_KERNEL") != "fma" {
+		t.Fatal("fma kernel active without explicit opt-in")
+	}
+	restore, ok := ForcePanelKernel("fma")
+	if !ok {
+		t.Skip("no FMA on this CPU")
+	}
+	defer restore()
+	rng := rand.New(rand.NewSource(22))
+	for n := 1; n <= 40; n++ {
+		ci, b, a := randPanel(rng, n, n+1)
+		want := append([]float64(nil), ci...)
+		axpyPanel8Go(want, b, n+1, &a)
+		axpyPanel8(ci, b, n+1, &a)
+		for i := range ci {
+			diff := math.Abs(ci[i] - want[i])
+			scale := math.Max(math.Abs(want[i]), 1)
+			if diff > 1e-12*scale {
+				t.Fatalf("fma n=%d: [%d] = %g, want %g (diff %g)", n, i, ci[i], want[i], diff)
+			}
+		}
+	}
+}
+
+func TestForcePanelKernel(t *testing.T) {
+	if _, ok := ForcePanelKernel("no-such-kernel"); ok {
+		t.Fatal("ForcePanelKernel accepted an unknown kernel")
+	}
+	def := PanelKernel()
+	restore, ok := ForcePanelKernel("go")
+	if !ok {
+		t.Fatal("the go kernel must always be forceable")
+	}
+	if PanelKernel() != "go" {
+		t.Fatalf("PanelKernel() = %q after forcing go", PanelKernel())
+	}
+	restore()
+	if PanelKernel() != def {
+		t.Fatalf("restore left PanelKernel() = %q, want %q", PanelKernel(), def)
+	}
+	names := PanelKernels()
+	if len(names) < 2 || names[len(names)-1] != "go" {
+		t.Fatalf("PanelKernels() = %v, want at least [... sse2 go]", names)
+	}
+}

@@ -139,10 +139,10 @@ func (m *metrics) write(w io.Writer, pipeline core.Counters, memoLen, diskLen in
 // in the first bucket, a heavyweight multi-class solve in the middle,
 // and a request that needed the sim-degradation rung near the top.
 type histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1, last is +Inf
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1, last is +Inf
 	sumBits atomic.Uint64
-	count  atomic.Int64
+	count   atomic.Int64
 }
 
 func newHistogram() *histogram {

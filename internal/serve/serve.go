@@ -67,6 +67,13 @@ type Config struct {
 	MemoCap int
 	// SweepWorkers caps /v1/sweep worker pools. Default GOMAXPROCS.
 	SweepWorkers int
+	// SolveParallel is each solve's per-class dispatch width
+	// (core.SolveOptions.Parallel). Default (0) is 1: shards are the
+	// serving layer's parallelism axis, so per-request solves stay
+	// serial. N > 1 widens each solve; negative means GOMAXPROCS (the
+	// single-tenant / few-shards lever). Any value returns bit-identical
+	// answers.
+	SolveParallel int
 	// MaxSweepTrials bounds the grid a single /v1/sweep may expand to.
 	// Default 4096.
 	MaxSweepTrials int
@@ -87,6 +94,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SweepWorkers <= 0 {
 		c.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.SolveParallel == 0:
+		c.SolveParallel = 1 // serial per solve; shards carry the parallelism
+	case c.SolveParallel < 0:
+		c.SolveParallel = runtime.GOMAXPROCS(0)
 	}
 	if c.MaxSweepTrials <= 0 {
 		c.MaxSweepTrials = 4096
@@ -114,7 +127,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := newPool(cfg.Shards, !cfg.ColdSessions)
+	p, err := newPool(cfg.Shards, !cfg.ColdSessions, cfg.SolveParallel)
 	if err != nil {
 		st.close()
 		return nil, err
@@ -277,6 +290,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Strict:        req.Strict,
 		AllowDegraded: req.AllowDegraded && s.cfg.AllowDegraded,
 		Cache:         s.store.disk,
+		SolveParallel: s.cfg.SolveParallel,
 	}
 	run, runErr := sweep.RunTrials(ctx, trials, opts)
 	if run == nil {

@@ -50,20 +50,24 @@ type shard struct {
 // after flipping closed, so no dispatch can be mid-send on a channel
 // being closed.
 type pool struct {
-	shards []*shard
-	warm   bool
-	mu     sync.RWMutex
-	closed bool
-	wg     sync.WaitGroup
+	shards   []*shard
+	warm     bool
+	parallel int // intra-solve per-class parallelism, core.SolveOptions.Parallel
+	mu       sync.RWMutex
+	closed   bool
+	wg       sync.WaitGroup
 }
 
 // newPool starts n shard workers. warm=false runs every solve cold
 // (sessions still reuse chain structure; only the R warm-start is off) —
-// the A/B lever the serving benchmark uses.
-func newPool(n int, warm bool) (*pool, error) {
-	p := &pool{warm: warm}
+// the A/B lever the serving benchmark uses. parallel is each solve's
+// per-class dispatch width (core.SolveOptions.Parallel): shards are the
+// serving layer's primary parallelism axis, so the usual setting is 1;
+// a wide solve on a lightly sharded deployment is the opposing lever.
+func newPool(n int, warm bool, parallel int) (*pool, error) {
+	p := &pool{warm: warm, parallel: parallel}
 	for i := 0; i < n; i++ {
-		ses, err := core.NewSession(core.SolveOptions{WarmStart: warm})
+		ses, err := core.NewSession(core.SolveOptions{WarmStart: warm, Parallel: parallel})
 		if err != nil {
 			return nil, err
 		}
@@ -73,14 +77,14 @@ func newPool(n int, warm bool) (*pool, error) {
 		go func() {
 			defer p.wg.Done()
 			for tk := range sh.tasks {
-				tk.out <- runTask(sh, tk, warm)
+				tk.out <- runTask(p, sh, tk)
 			}
 		}()
 	}
 	return p, nil
 }
 
-func runTask(sh *shard, tk *task, warm bool) taskResult {
+func runTask(p *pool, sh *shard, tk *task) taskResult {
 	if err := tk.ctx.Err(); err != nil {
 		// The waiter is already gone; don't burn solver time on it.
 		return taskResult{err: err}
@@ -88,7 +92,7 @@ func runTask(sh *shard, tk *task, warm bool) taskResult {
 	if hook := testHookBeforeSolve; hook != nil {
 		hook(tk.trial)
 	}
-	resp, err := solveTrial(sh.ses, tk.trial, tk.allowDegraded, warm)
+	resp, err := solveTrial(sh.ses, tk.trial, tk.allowDegraded, p.warm, p.parallel)
 	if resp != nil {
 		resp.Shard = sh.id
 	}
@@ -163,13 +167,14 @@ func (p *pool) close() {
 // failed classes when the request (and server) opted in, and the solve's
 // pipeline counters. Mirrors sweep.execute's failure handling so served
 // and batch answers fail the same way.
-func solveTrial(ses *core.Session, t sweep.Trial, allowDegraded, warm bool) (*SolveResponse, error) {
+func solveTrial(ses *core.Session, t sweep.Trial, allowDegraded, warm bool, parallel int) (*SolveResponse, error) {
 	m, err := t.Scenario.Model()
 	if err != nil {
 		return nil, &certify.Failure{Kind: certify.ErrConfig, Stage: "serve.model", Err: err}
 	}
 	copts := t.Solve.CoreOptions()
 	copts.WarmStart = warm
+	copts.Parallel = parallel
 	var res *core.Result
 	var serr error
 	if t.Method == sweep.MethodHeavy {

@@ -52,18 +52,19 @@ func benchRun(b *testing.B, workers int, cache *Cache) {
 // BenchmarkSweepSerial is the single-worker baseline.
 func BenchmarkSweepSerial(b *testing.B) { benchRun(b, 1, nil) }
 
-// BenchmarkSweepParallel uses the default pool (runtime.NumCPU workers);
-// speedup over serial tracks the core count of the machine.
-func BenchmarkSweepParallel(b *testing.B) { benchRun(b, runtime.NumCPU(), nil) }
+// BenchmarkSweepParallel sizes the pool to GOMAXPROCS — not NumCPU — so
+// a `-cpu 1,2,4,8` scaling run (make bench-scale) measures the pool at
+// each width instead of oversubscribing every row with NumCPU workers.
+func BenchmarkSweepParallel(b *testing.B) { benchRun(b, runtime.GOMAXPROCS(0), nil) }
 
 // BenchmarkSweepWarmCache measures the cache-hit fast path: after one
 // priming run every trial is served from memory with no solver calls.
 func BenchmarkSweepWarmCache(b *testing.B) {
 	cache := NewMemCache()
-	if _, err := Execute(context.Background(), benchSpec(), Options{Workers: runtime.NumCPU(), Cache: cache}); err != nil {
+	if _, err := Execute(context.Background(), benchSpec(), Options{Workers: runtime.GOMAXPROCS(0), Cache: cache}); err != nil {
 		b.Fatal(err)
 	}
-	benchRun(b, runtime.NumCPU(), cache)
+	benchRun(b, runtime.GOMAXPROCS(0), cache)
 }
 
 // benchPipeline runs the 64-trial grid on one worker, cold or with

@@ -10,15 +10,35 @@ import (
 	"sync"
 )
 
-// Cache is the two-tier trial-result store: an in-memory map always, and
-// an append-only JSONL file underneath it when opened with a directory.
-// Keys are content hashes of the trials (Trial.Key), so the cache is
-// safely shared between unrelated sweeps, and interrupted or repeated
-// runs skip every trial whose result is already on disk. Only successful
-// results are stored; errors and panics are always retried on a re-run.
+// cacheShards is the stripe count of the memory tier. Keys are content
+// hashes, so they spread uniformly; 64 stripes keeps the probability of
+// two workers colliding on one mutex negligible at any realistic pool
+// size while costing a few hundred bytes of footprint.
+const cacheShards = 64
+
+// cacheShard is one stripe: a private mutex and its slice of the map.
+type cacheShard struct {
+	mu  sync.Mutex
+	mem map[string]map[string]float64
+}
+
+// Cache is the two-tier trial-result store: a lock-striped in-memory map
+// always, and an append-only JSONL file underneath it when opened with a
+// directory. Keys are content hashes of the trials (Trial.Key), so the
+// cache is safely shared between unrelated sweeps, and interrupted or
+// repeated runs skip every trial whose result is already on disk. Only
+// successful results are stored; errors and panics are always retried on
+// a re-run.
+//
+// Lock order: Get/Put/Len hold resetMu read-side, then one stripe mutex
+// (and, for Put, ioMu for the disk append). Reset and Close take resetMu
+// write-side, so a Put can never land its memory insert before a
+// truncation and its disk append after.
 type Cache struct {
-	mu   sync.Mutex
-	mem  map[string]map[string]float64
+	resetMu sync.RWMutex
+	shards  [cacheShards]cacheShard
+
+	ioMu sync.Mutex // serializes JSONL appends beneath the stripes
 	file *os.File
 	enc  *json.Encoder
 	w    *bufio.Writer
@@ -30,9 +50,23 @@ type cacheRecord struct {
 	Values map[string]float64 `json:"values"`
 }
 
+// shard maps a content-hash key onto its stripe (FNV-1a, folded).
+func (c *Cache) shard(key string) *cacheShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
 // NewMemCache returns a memory-only cache (no persistence).
 func NewMemCache() *Cache {
-	return &Cache{mem: make(map[string]map[string]float64)}
+	c := &Cache{}
+	for i := range c.shards {
+		c.shards[i].mem = make(map[string]map[string]float64)
+	}
+	return c
 }
 
 // OpenCache opens (creating as needed) the disk-backed cache in dir,
@@ -52,7 +86,7 @@ func OpenCache(dir string) (*Cache, error) {
 			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
 				continue
 			}
-			c.mem[rec.Key] = rec.Values
+			c.shard(rec.Key).mem[rec.Key] = rec.Values
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, fmt.Errorf("sweep: cache read: %w", err)
@@ -69,24 +103,34 @@ func OpenCache(dir string) (*Cache, error) {
 
 // Get returns the cached values for key, if present.
 func (c *Cache) Get(key string) (map[string]float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	v, ok := c.mem[key]
+	c.resetMu.RLock()
+	defer c.resetMu.RUnlock()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	v, ok := sh.mem[key]
+	sh.mu.Unlock()
 	return v, ok
 }
 
 // Put stores values under key, appending to the disk store when one is
-// attached. Re-putting an existing key is a no-op.
+// attached. Re-putting an existing key is a no-op. Puts to different
+// stripes only contend on the disk appender.
 func (c *Cache) Put(key string, values map[string]float64) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.mem[key]; ok {
+	c.resetMu.RLock()
+	defer c.resetMu.RUnlock()
+	sh := c.shard(key)
+	sh.mu.Lock()
+	if _, ok := sh.mem[key]; ok {
+		sh.mu.Unlock()
 		return nil
 	}
-	c.mem[key] = values
+	sh.mem[key] = values
+	sh.mu.Unlock()
 	if c.enc == nil {
 		return nil
 	}
+	c.ioMu.Lock()
+	defer c.ioMu.Unlock()
 	if err := c.enc.Encode(cacheRecord{Key: key, Values: values}); err != nil {
 		return fmt.Errorf("sweep: cache append: %w", err)
 	}
@@ -97,9 +141,11 @@ func (c *Cache) Put(key string, values map[string]float64) error {
 // one is attached — the "start cold" escape hatch for a cache whose
 // inputs are suspected stale.
 func (c *Cache) Reset() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.mem = make(map[string]map[string]float64)
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
+	for i := range c.shards {
+		c.shards[i].mem = make(map[string]map[string]float64)
+	}
 	if c.file == nil {
 		return nil
 	}
@@ -115,15 +161,21 @@ func (c *Cache) Reset() error {
 
 // Len reports the number of cached results.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.mem)
+	c.resetMu.RLock()
+	defer c.resetMu.RUnlock()
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].mem)
+		c.shards[i].mu.Unlock()
+	}
+	return n
 }
 
 // Close flushes and releases the disk store, if any.
 func (c *Cache) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.resetMu.Lock()
+	defer c.resetMu.Unlock()
 	if c.file == nil {
 		return nil
 	}

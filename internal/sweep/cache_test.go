@@ -1,0 +1,132 @@
+package sweep
+
+// Striped-cache concurrency tests. These run under -race in `make ci`,
+// so they are the data-race proof for the stripe mutexes, the shared
+// JSONL appender, and the Reset/Put ordering contract.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCacheConcurrentStripedAccess hammers a disk-backed cache from
+// many goroutines with overlapping key sets, then reopens it: every key
+// must persist exactly once with the first writer's values.
+func TestCacheConcurrentStripedAccess(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		keys    = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("key-%d", k)
+				// All workers race the same key; Put dedups, so the disk
+				// store must see it exactly once.
+				if err := c.Put(key, map[string]float64{"v": float64(k)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if v, ok := c.Get(key); !ok || v["v"] != float64(k) {
+					t.Errorf("Get(%s) = %v, %v", key, v, ok)
+					return
+				}
+				_ = c.Len()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Len(); got != keys {
+		t.Fatalf("Len() = %d, want %d", got, keys)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != keys {
+		t.Fatalf("reopened Len() = %d, want %d (duplicate or lost appends)", got, keys)
+	}
+	for k := 0; k < keys; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		if v, ok := re.Get(key); !ok || v["v"] != float64(k) {
+			t.Fatalf("reopened Get(%s) = %v, %v", key, v, ok)
+		}
+	}
+}
+
+// TestCacheResetDuringPuts races Reset against a stream of Puts. The
+// ordering contract: a Put is atomic against Reset (memory insert and
+// disk append land on the same side of the truncation), so after Close
+// the disk store reopens to exactly the surviving memory contents.
+func TestCacheResetDuringPuts(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				key := fmt.Sprintf("w%d-k%d", w, k)
+				if err := c.Put(key, map[string]float64{"n": float64(k)}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for r := 0; r < 5; r++ {
+			if err := c.Reset(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	want := c.Len()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Len(); got != want {
+		t.Fatalf("reopened Len() = %d, want %d (Put/Reset tearing)", got, want)
+	}
+}
+
+// TestCacheShardSpread sanity-checks the stripe hash: content-hash-like
+// keys must not pile onto one stripe.
+func TestCacheShardSpread(t *testing.T) {
+	c := NewMemCache()
+	hit := map[*cacheShard]bool{}
+	for k := 0; k < 256; k++ {
+		hit[c.shard(fmt.Sprintf("%064x", k*2654435761))] = true
+	}
+	if len(hit) < cacheShards/2 {
+		t.Fatalf("256 keys landed on only %d/%d stripes", len(hit), cacheShards)
+	}
+}

@@ -33,6 +33,11 @@ type ExecPolicy struct {
 	// FinalAttempt is true when no retries remain: retryable failures
 	// should degrade (if allowed) rather than error.
 	FinalAttempt bool
+	// SolveParallel is the intra-solve parallelism forwarded to
+	// core.SolveOptions.Parallel for analytic methods; ≤ 1 keeps the
+	// serial path. Execution-level only — it never enters Trial hashing
+	// or artifacts, because it cannot change a result bit.
+	SolveParallel int
 }
 
 // execOutcome is one attempt's result: the named values, whether the
@@ -62,6 +67,14 @@ var execute = func(t Trial, pol ExecPolicy, ses *core.Session) (execOutcome, err
 	switch t.Method {
 	case MethodAnalytic, MethodHeavy:
 		copts := t.Solve.coreOptions()
+		// The sweep's default is serial per solve (the worker pool is
+		// the outer parallelism axis); SolveParallel > 1 opts a trial's
+		// independent per-class QBDs onto core's worker group. Either
+		// way the answer is bit-for-bit the same.
+		copts.Parallel = 1
+		if pol.SolveParallel > 1 {
+			copts.Parallel = pol.SolveParallel
+		}
 		var res *core.Result
 		var serr error
 		switch {

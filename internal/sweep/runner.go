@@ -42,6 +42,15 @@ type Options struct {
 	// Degraded results are flagged in the result and manifest and are
 	// never cached.
 	AllowDegraded bool
+	// SolveParallel sets each analytic trial's intra-solve parallelism
+	// (core.SolveOptions.Parallel): ≤ 1 — the default — keeps every
+	// solve on the historical serial path, because the trial grid is
+	// the sweep's primary parallelism axis; N > 1 dispatches each
+	// solve's per-class QBDs onto a bounded N-worker group. The setting
+	// never changes a result bit — per-class solves are independent and
+	// merge in class order — so cache keys and artifacts are identical
+	// whatever it is, and it is deliberately kept out of Trial hashing.
+	SolveParallel int
 	// WarmStart threads one reusable core.Session through each worker:
 	// trials are reordered by parameter distance within structural groups
 	// and each worker's session reuses chain structure and warm-starts
@@ -119,21 +128,34 @@ type TrialStatus struct {
 // Manifest summarizes a run for reproducibility audits: what was asked,
 // what actually executed, and how the cache behaved.
 type Manifest struct {
-	Name         string  `json:"name"`
-	SpecHash     string  `json:"specHash,omitempty"`
-	Seed         int64   `json:"seed"`
-	Workers      int     `json:"workers"`
-	Trials       int     `json:"trials"`
-	Executed     int     `json:"executed"`
-	CacheHits    int     `json:"cacheHits"`
-	CacheHitRate float64 `json:"cacheHitRate"`
-	Errors       int     `json:"errors"`
-	Degraded     int     `json:"degraded,omitempty"`
-	Panics       int     `json:"panics"`
-	Retries      int     `json:"retries"`
-	Canceled     int     `json:"canceled"`
-	WallMillis   int64   `json:"wallMillis"`
-	TrialsPerSec float64 `json:"trialsPerSec"`
+	Name     string `json:"name"`
+	SpecHash string `json:"specHash,omitempty"`
+	Seed     int64  `json:"seed"`
+	Workers  int    `json:"workers"`
+	// GoMaxProcs is runtime.GOMAXPROCS(0) at run time. Committed next to
+	// Workers because the pair is what makes a throughput number
+	// interpretable: 8 workers on 1 schedulable CPU measures dispatch
+	// overhead, not parallelism.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// SolveParallel echoes Options.SolveParallel when set above 1.
+	SolveParallel int `json:"solveParallel,omitempty"`
+	// ParallelismNote is set when the run asked for a multi-worker pool
+	// on a single schedulable CPU — the configuration in which the pool
+	// is pure overhead and "parallel" sweeps run slower than serial.
+	// Recorded so the regression is self-diagnosing in the manifest
+	// instead of silently poisoning throughput comparisons.
+	ParallelismNote string  `json:"parallelismNote,omitempty"`
+	Trials          int     `json:"trials"`
+	Executed        int     `json:"executed"`
+	CacheHits       int     `json:"cacheHits"`
+	CacheHitRate    float64 `json:"cacheHitRate"`
+	Errors          int     `json:"errors"`
+	Degraded        int     `json:"degraded,omitempty"`
+	Panics          int     `json:"panics"`
+	Retries         int     `json:"retries"`
+	Canceled        int     `json:"canceled"`
+	WallMillis      int64   `json:"wallMillis"`
+	TrialsPerSec    float64 `json:"trialsPerSec"`
 	// Pipeline sums the per-trial solver-pipeline counters — chains built
 	// vs refilled in place, QBD solves, total R-matrix iterations, and
 	// the warm/cold/accepted split. Omitted when no analytic solver work
@@ -276,6 +298,7 @@ func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult)
 			Strict:        opts.Strict,
 			AllowDegraded: opts.AllowDegraded,
 			FinalAttempt:  attempt > opts.MaxRetries,
+			SolveParallel: opts.SolveParallel,
 		}
 		out, err := attemptTrial(t, pol, ses)
 		retryable := t.Method == MethodAnalytic && attempt <= opts.MaxRetries
@@ -354,8 +377,17 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 	m := Manifest{
 		Name:       opts.Name,
 		Workers:    opts.Workers,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Trials:     len(results),
 		WallMillis: wall.Milliseconds(),
+	}
+	if opts.SolveParallel > 1 {
+		m.SolveParallel = opts.SolveParallel
+	}
+	if m.Workers > 1 && m.GoMaxProcs == 1 {
+		m.ParallelismNote = fmt.Sprintf(
+			"%d workers on GOMAXPROCS=1: the pool serializes on one CPU and its dispatch is pure overhead; expect this run to be slower than workers=1",
+			m.Workers)
 	}
 	if wall > 0 {
 		m.TrialsPerSec = float64(len(results)) / wall.Seconds()

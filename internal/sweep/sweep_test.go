@@ -196,6 +196,51 @@ func TestDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestDeterminismAcrossSolveParallel is the per-class-parallelism
+// determinism contract: the cold 64-trial grid with SolveParallel: 4
+// (concurrent per-class dispatch inside every analytic solve) must
+// produce byte-identical artifacts to the serial-solve run, and the
+// knob must never leak into the trial content hashes that key the
+// cache.
+func TestDeterminismAcrossSolveParallel(t *testing.T) {
+	s := benchSpec() // the 64-trial analytic grid
+
+	var artifacts [][]byte
+	var keys [][]string
+	for _, solvePar := range []int{1, 4} {
+		run, err := Execute(context.Background(), s, Options{Workers: 2, SolveParallel: solvePar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := run.ResultsJSONL()
+		if err != nil {
+			t.Fatal(err)
+		}
+		artifacts = append(artifacts, data, []byte(run.ResultsCSV()))
+
+		trials, err := s.Expand()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks := make([]string, len(trials))
+		for i := range trials {
+			ks[i] = trials[i].Key()
+		}
+		keys = append(keys, ks)
+	}
+	if !bytes.Equal(artifacts[0], artifacts[2]) {
+		t.Fatal("results.jsonl differs between SolveParallel:1 and SolveParallel:4")
+	}
+	if !bytes.Equal(artifacts[1], artifacts[3]) {
+		t.Fatal("results.csv differs between SolveParallel:1 and SolveParallel:4")
+	}
+	for i := range keys[0] {
+		if keys[0][i] != keys[1][i] {
+			t.Fatalf("trial %d content hash changed with SolveParallel (cache keys must not see the knob)", i)
+		}
+	}
+}
+
 // TestWarmCacheSkipsSolver is the incremental-rerun contract: a repeat
 // run against a warm cache is 100% cache hits, performs zero analytic
 // solver calls, and reproduces the artifact byte-for-byte.
