@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-full ci fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-compare
+.PHONY: build vet test race race-full ci chaos chaos-short fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-compare
 
 build:
 	$(GO) build ./...
@@ -40,14 +40,32 @@ ci: build vet race
 	$(GO) vet ./... && $(GO) test -race -count 1 ./internal/sweep/ ./internal/certify/ ./internal/core/ ./internal/serve/
 	GOMAXPROCS=4 $(GO) test -race -count 1 ./internal/core/
 	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'TestCache' ./internal/sweep/
+	$(MAKE) chaos-short
+
+# chaos soaks the daemon under the seeded fault schedules (injected shard
+# panics, numeric failures, solver latency, NaN-contaminated R iterates,
+# and a pre-corrupted cache directory) with the race detector on, and
+# fails on any broken invariant: a daemon death, a non-finite or
+# uncertified 200, a breaker that never opens or never re-closes, or
+# error counters that do not reconcile with what the clients observed.
+# chaos-short is the same harness sized for the ci gate (<60 s); chaos is
+# the long soak.
+chaos:
+	GANG_CHAOS_SECONDS=20 $(GO) test -race -count 1 -run TestChaosSoak -v ./internal/serve/
+
+chaos-short:
+	GANG_CHAOS_SECONDS=4 GOMAXPROCS=4 $(GO) test -race -count 1 -run TestChaosSoak ./internal/serve/
 
 # fuzz-short is the soundness smoke: 30 seconds of random QBD generator
-# blocks must never produce a certified-but-invalid R, and 30 seconds of
+# blocks must never produce a certified-but-invalid R, 30 seconds of
 # random request bodies must never crash the daemon's decoder or produce
-# an untyped rejection (every decode error must map to a 400).
+# an untyped rejection (every decode error must map to a 400), and 30
+# seconds of arbitrary cache.jsonl bytes must never break recovery-on-open
+# (no panic, no open error, and the repaired file must reopen pristine).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRMatrixCertify -fuzztime 30s ./internal/certify/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSolveRequest -fuzztime 30s ./internal/serve/
+	$(GO) test -run '^$$' -fuzz FuzzCacheRecovery -fuzztime 30s ./internal/sweep/
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

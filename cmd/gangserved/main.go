@@ -11,6 +11,8 @@
 //	gangserved -cache-dir .sweepcache           # share answers with gangsweep
 //	gangserved -rate 200 -burst 50              # shed load past 200 req/s
 //	gangserved -timeout 10s -allow-degraded
+//	gangserved -breaker-threshold 3 -breaker-cooldown 30s
+//	gangserved -cache-dir .sweepcache -cache-fsync
 //
 // Endpoints:
 //
@@ -60,6 +62,9 @@ func main() {
 		solvePar    = flag.Int("parallel", 1, "per-class parallelism inside each solve (1 = serial, shards carry the concurrency; -1 = GOMAXPROCS); answers are bit-identical either way")
 		sweepTrials = flag.Int("max-sweep-trials", 4096, "largest grid a single /v1/sweep may expand to")
 		drain       = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown bound after the first signal")
+		brkThresh   = flag.Int("breaker-threshold", 5, "consecutive countable shard failures before the circuit opens (negative = disabled)")
+		brkCooldown = flag.Duration("breaker-cooldown", 10*time.Second, "open-state hold before a half-open probe is admitted")
+		cacheFsync  = flag.Bool("cache-fsync", false, "fsync the disk cache after every append (crash-durable at a latency cost)")
 	)
 	flag.Parse()
 
@@ -80,6 +85,10 @@ func main() {
 		SweepWorkers:   *sweepWork,
 		MaxSweepTrials: *sweepTrials,
 		SolveParallel:  *solvePar,
+
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		CacheFsync:       *cacheFsync,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gangserved:", err)

@@ -35,11 +35,19 @@ var (
 	// ErrConfig: the model or spec itself is invalid — no amount of
 	// retrying or degrading can help.
 	ErrConfig = errors.New("certify: invalid configuration")
+	// ErrDeadline: the solve was interrupted mid-iteration by its
+	// deadline or the caller's cancellation. The partial iterate is
+	// discarded — a deadline verdict says nothing about the answer, only
+	// that the request's time budget ran out first. Failure.Iterations
+	// records the partial progress at the interrupt.
+	ErrDeadline = errors.New("certify: solve interrupted by deadline or cancellation")
 )
 
-// kinds, in classification-priority order: contamination and config
-// trump the softer kinds when an error chain carries several.
-var kinds = []error{ErrConfig, ErrNumericContaminated, ErrSingularBoundary, ErrUnstableClass, ErrNotConverged}
+// kinds, in classification-priority order: deadline trumps everything —
+// a solve killed mid-iteration reports why it died, not what the torn
+// iterate looked like — then contamination and config trump the softer
+// kinds when an error chain carries several.
+var kinds = []error{ErrDeadline, ErrConfig, ErrNumericContaminated, ErrSingularBoundary, ErrUnstableClass, ErrNotConverged}
 
 // Failure is a taxonomy error with diagnostics. Kind is one of the
 // package sentinels; Err is the underlying cause (possibly an
@@ -90,12 +98,14 @@ func Classify(err, def error) error {
 }
 
 // KindLabel renders err's taxonomy kind as a short manifest-friendly
-// token: "config", "numeric", "singular-boundary", "unstable",
-// "not-converged", "error" (untyped), or "" for nil.
+// token: "deadline", "config", "numeric", "singular-boundary",
+// "unstable", "not-converged", "error" (untyped), or "" for nil.
 func KindLabel(err error) string {
 	switch {
 	case err == nil:
 		return ""
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
 	case errors.Is(err, ErrConfig):
 		return "config"
 	case errors.Is(err, ErrNumericContaminated):

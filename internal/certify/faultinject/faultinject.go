@@ -78,3 +78,74 @@ func Fire(point string, payload any) error {
 	}
 	return fn(payload)
 }
+
+// Chaos is a deterministic probabilistic fault schedule: each Fire at
+// the point it is armed on flips a seeded pseudo-random coin and injects
+// the fault with probability Rate. One Chaos value drives one point;
+// several points with independent streams make a full chaos scenario
+// whose every run with the same seeds is identical modulo goroutine
+// interleaving.
+type Chaos struct {
+	mu    sync.Mutex
+	state uint64
+	rate  float64
+	count int64 // fires that injected
+}
+
+// NewChaos returns a schedule injecting at the given rate in [0, 1],
+// from a deterministic PRNG stream seeded by seed.
+func NewChaos(seed int64, rate float64) *Chaos {
+	// splitmix64 scramble so nearby seeds give unrelated streams.
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return &Chaos{state: z, rate: rate}
+}
+
+// next draws one uniform float64 in [0, 1) (xorshift64*).
+func (c *Chaos) next() float64 {
+	c.state ^= c.state >> 12
+	c.state ^= c.state << 25
+	c.state ^= c.state >> 27
+	return float64((c.state*0x2545f4914f6cdd1d)>>11) / (1 << 53)
+}
+
+// Roll flips the schedule's coin: true means "inject now". Safe for
+// concurrent use; the stream is consumed in call order, so totals are
+// deterministic even though which caller sees which draw is not.
+func (c *Chaos) Roll() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.next() >= c.rate {
+		return false
+	}
+	c.count++
+	return true
+}
+
+// Injected reports how many Rolls have injected so far — the reconciling
+// side of a chaos soak's error accounting.
+func (c *Chaos) Injected() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// ArmChaos arms point with a probabilistic hook: on each Fire whose Roll
+// lands, fault runs with the payload (inject an error, mutate the
+// payload, sleep, or panic); all other fires pass through untouched.
+// Returns the schedule so the test can reconcile injected counts.
+func ArmChaos(point string, seed int64, rate float64, fault func(payload any) error) *Chaos {
+	c := NewChaos(seed, rate)
+	Arm(point, func(p any) error {
+		if !c.Roll() {
+			return nil
+		}
+		return fault(p)
+	})
+	return c
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/certify"
+)
+
+// TestFixedPointCanceledContext: the Theorem 4.3 driver polls its
+// context once per fixed-point round, so a canceled request aborts the
+// whole multi-class solve with a typed deadline failure instead of
+// running the iteration budget out.
+func TestFixedPointCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := SolveOptions{}
+	opts.RMatrix.Ctx = ctx
+	m := paperModel(0.4, [4]float64{0.5, 1, 2, 4}, 1, 0.01)
+	_, err := Solve(m, opts)
+	if err == nil {
+		t.Fatal("canceled fixed point succeeded")
+	}
+	if !errors.Is(err, certify.ErrDeadline) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want ErrDeadline wrapping context.Canceled", err)
+	}
+	var f *certify.Failure
+	if !errors.As(err, &f) {
+		t.Fatalf("error %v is not a certify.Failure", err)
+	}
+	if f.Stage != "core.fixedpoint" && f.Stage != "qbd.iterate" {
+		t.Fatalf("stage %q, want a pipeline cancellation point", f.Stage)
+	}
+}

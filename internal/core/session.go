@@ -204,6 +204,15 @@ func (s *Session) stageSolveQBD(p int, ch *ClassChain, opts SolveOptions, cnt *C
 	}
 	sol, err := qbd.Solve(ch.Proc, ropts)
 	if err != nil {
+		// Poison protection: a failed solve says the retained warm iterate
+		// may be implicated — a non-converged or contaminated R would
+		// otherwise seed every later solve routed to this class (the shard
+		// keyed by classSig in gangserved). Drop it so the next solve
+		// starts from the cold ladder. ErrUnstable is exempt: instability
+		// is a verdict about the model's drift, not about the iterate.
+		if !errors.Is(err, qbd.ErrUnstable) {
+			st.lastR = nil
+		}
 		return nil, err
 	}
 	if sol.Cert != nil {

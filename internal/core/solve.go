@@ -143,6 +143,20 @@ func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Re
 
 	var res *Result
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
+		// Cancellation point: a fixed-point round costs L full QBD solves,
+		// so one check per round is both cheap and timely. The per-class
+		// solves poll the same context mid-R-iteration (qbd.RMatrixOptions.
+		// Ctx), so a deadline interrupts work at both granularities.
+		if ctx := opts.RMatrix.Ctx; ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return res, &certify.Failure{
+					Kind:       certify.ErrDeadline,
+					Stage:      "core.fixedpoint",
+					Iterations: iter - 1,
+					Err:        err,
+				}
+			}
+		}
 		res = &Result{Iterations: iter}
 		anyStable := false
 		for _, cr := range s.solveClasses(m, quanta, opts, workers, cnt) {

@@ -1,0 +1,111 @@
+package qbd
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/certify"
+	"repro/internal/certify/faultinject"
+	"repro/internal/matrix"
+)
+
+// TestSolveCanceledContext: a context canceled before the solve starts
+// aborts the very first iteration poll with a typed deadline failure —
+// the ladder never descends to a second rung.
+func TestSolveCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Solve(mm1(1, 2), RMatrixOptions{Ctx: ctx})
+	if err == nil {
+		t.Fatal("canceled solve succeeded")
+	}
+	if !errors.Is(err, certify.ErrDeadline) {
+		t.Fatalf("error %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v lost the context cause", err)
+	}
+	var f *certify.Failure
+	if !errors.As(err, &f) || !errors.Is(f.Kind, certify.ErrDeadline) {
+		t.Fatalf("failure not typed as deadline: %+v", f)
+	}
+}
+
+// TestSolveDeadlineInterruptsMidIteration: with per-iteration latency
+// injected through the "qbd.iter" point, a deadline shorter than the
+// full solve stops the iteration within a handful of polls — the solver
+// does a small bounded amount of work past the deadline instead of
+// finishing the budget, and reports its partial progress. The
+// logreduction rung is quadratically convergent (too shallow to
+// interrupt meaningfully), so the first rung is NaN-contaminated to
+// force the linearly convergent substitution rung — hundreds of
+// iterations at this load.
+func TestSolveDeadlineInterruptsMidIteration(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	deepSolve := func(hook func()) (int64, error) {
+		faultinject.ArmOnce("qbd.R", func(p any) error {
+			p.(*matrix.Dense).Set(0, 0, math.NaN())
+			return nil
+		})
+		var n atomic.Int64
+		faultinject.Arm("qbd.iter", func(any) error {
+			n.Add(1)
+			if hook != nil {
+				hook()
+			}
+			return nil
+		})
+		var opts RMatrixOptions
+		if hook != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			opts.Ctx = ctx
+		}
+		_, err := Solve(mm1(9, 10), opts)
+		faultinject.Reset()
+		return n.Load(), err
+	}
+
+	// Baseline: the full ladder (contaminated rung 1 + substitution).
+	full, err := deepSolve(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full < 100 {
+		t.Fatalf("full solve only %d iterations; probe assumptions broken", full)
+	}
+
+	// Interrupted: every iteration sleeps 2ms, the 20ms deadline lands
+	// around iteration 10, and the poll must stop the solve within one
+	// check interval — far short of the full budget.
+	fired, err := deepSolve(func() { time.Sleep(2 * time.Millisecond) })
+	if !errors.Is(err, certify.ErrDeadline) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want ErrDeadline wrapping DeadlineExceeded", err)
+	}
+	var f *certify.Failure
+	if !errors.As(err, &f) || f.Iterations <= 0 {
+		t.Fatalf("failure carries no partial iteration count: %+v", f)
+	}
+	// Deadline at ~iteration 10, detection within cancelCheckInterval,
+	// and the ladder must not restart the work on a later rung. The
+	// generous bound still sits far below the full budget.
+	if fired > full/4 || fired > 10+8*cancelCheckInterval {
+		t.Fatalf("solver ran %d iterations past a 20ms deadline (full solve: %d)", fired, full)
+	}
+}
+
+// TestSolveNilContextUnchanged: the default no-context path still solves
+// and certifies exactly as before.
+func TestSolveNilContextUnchanged(t *testing.T) {
+	sol, err := Solve(mm1(1, 2), RMatrixOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Cert.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package qbd
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -40,6 +41,17 @@ type RMatrixOptions struct {
 	// result against; nil means certify.DefaultTolerances().
 	CertTol *certify.Tolerances
 
+	// Ctx, when non-nil, lets the caller interrupt the iterative solvers
+	// mid-iteration: every loop polls Ctx.Err() once per
+	// cancelCheckInterval iterations, so a request deadline or a client
+	// disconnect stops the work within a handful of iterations instead
+	// of after the full budget. An interrupted solve fails with a typed
+	// certify.ErrDeadline carrying the partial iteration count, and the
+	// fallback ladder aborts immediately — no later rung restarts work
+	// the caller no longer wants. Nil (the default, and the only state
+	// benchmarks ever see) costs one nil-check per polled iteration.
+	Ctx context.Context
+
 	// InitialR, when non-nil and shape-compatible, warm-starts the solve:
 	// before the cold fallback ladder runs, a traffic-based iteration
 	// R ← D₀·(I − D₁ − R·D₂)⁻¹ continues from InitialR (typically the
@@ -76,6 +88,31 @@ func (o RMatrixOptions) certTol() certify.Tolerances {
 		return *o.CertTol
 	}
 	return certify.DefaultTolerances()
+}
+
+// cancelCheckInterval is how often (in iterations) the iterative solvers
+// poll RMatrixOptions.Ctx. Each iteration is O(n³) kernel work, so one
+// Ctx.Err() per eight iterations is unmeasurable on RMatrix/medium while
+// bounding the overshoot past a deadline to a few iterations.
+const cancelCheckInterval = 8
+
+// iterTick is the per-iteration instrumentation gate shared by every
+// iterative solver: the "qbd.iter" fault-injection point (tests inject
+// per-iteration latency or errors through it; disarmed it is one atomic
+// load) and the periodic cancellation poll. A non-nil return is a typed
+// certify.ErrDeadline (cancellation) or the injected error, and aborts
+// the current rung at iteration iter.
+func iterTick(opts *RMatrixOptions, iter int) error {
+	if err := faultinject.Fire("qbd.iter", iter); err != nil {
+		return err
+	}
+	if opts.Ctx != nil && iter%cancelCheckInterval == 0 {
+		if err := opts.Ctx.Err(); err != nil {
+			return &certify.Failure{Kind: certify.ErrDeadline, Stage: "qbd.iterate",
+				Iterations: iter, Err: err}
+		}
+	}
+	return nil
 }
 
 // Uniformization margins: the rate constant c is the maximum exit rate
@@ -150,16 +187,24 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, uniformizeMargin)
 
 	var (
-		path  []string
-		rungs []error
-		iters int
+		path     []string
+		rungs    []error
+		iters    int
+		canceled bool
 	)
 	// try runs one rung; it returns the accepted R and its certificate,
-	// or records the failure and returns nils so the ladder descends.
+	// or records the failure and returns nils so the ladder descends. A
+	// rung interrupted by the caller's deadline sets canceled: the ladder
+	// aborts instead of descending — every further rung would restart
+	// work the caller has already given up on.
 	try := func(name string, run func() (*matrix.Dense, int, error)) (*matrix.Dense, *certify.Certificate) {
 		r, it, err := run()
 		iters += it
 		if err != nil {
+			if errors.Is(err, certify.ErrDeadline) ||
+				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				canceled = true
+			}
 			path = append(path, name+": "+certify.KindLabel(classifyRungErr(err)))
 			rungs = append(rungs, fmt.Errorf("%s: %w", name, err))
 			return nil, nil
@@ -204,17 +249,17 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 			r, cert = nil, nil
 		}
 	}
-	if r == nil {
+	if r == nil && !canceled {
 		r, cert = try(rungLogReduction, func() (*matrix.Dense, int, error) {
 			return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
 		})
 	}
-	if r == nil {
+	if r == nil && !canceled {
 		r, cert = try(rungSubstitution, func() (*matrix.Dense, int, error) {
 			return successiveSubstitution(id, d0, d1, d2, sd2, ws, opts)
 		})
 	}
-	if r == nil && certTol != nil {
+	if r == nil && !canceled && certTol != nil {
 		// Rung 3: tightened-tolerance retry. A result that converged but
 		// failed residual certification usually stalled just short; a
 		// smaller stopping tolerance and a bigger budget give both
@@ -225,12 +270,12 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 		r, cert = try(rungTightened+"-"+rungLogReduction, func() (*matrix.Dense, int, error) {
 			return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, tight)
 		})
-		if r == nil {
+		if r == nil && !canceled {
 			r, cert = try(rungTightened+"-"+rungSubstitution, func() (*matrix.Dense, int, error) {
 				return successiveSubstitution(id, d0, d1, d2, sd2, ws, tight)
 			})
 		}
-		if r == nil {
+		if r == nil && !canceled {
 			// Rung 4: shifted/regularized solve. Re-uniformize with a fat
 			// margin (a genuinely different, better-separated discretization),
 			// compute G by the monotone functional iteration — robust where
@@ -262,12 +307,19 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 }
 
 // ladderFailure wraps every rung's error into one typed failure: kind
+// ErrDeadline if a rung was interrupted by the caller's deadline (the
+// ladder aborted; Iterations carries the partial progress), else
 // ErrNumericContaminated if any rung died of contamination, otherwise
 // ErrNotConverged (the retryable kind).
 func ladderFailure(iters int, rungs []error) error {
 	joined := errors.Join(rungs...)
 	kind := certify.ErrNotConverged
-	if errors.Is(joined, certify.ErrNumericContaminated) {
+	switch {
+	case errors.Is(joined, certify.ErrDeadline),
+		errors.Is(joined, context.Canceled),
+		errors.Is(joined, context.DeadlineExceeded):
+		kind = certify.ErrDeadline
+	case errors.Is(joined, certify.ErrNumericContaminated):
 		kind = certify.ErrNumericContaminated
 	}
 	return &certify.Failure{Kind: kind, Stage: "qbd.rmatrix", Iterations: iters, Err: joined}
@@ -390,6 +442,10 @@ func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *ma
 		ws.PutLU(lu)
 	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := iterTick(&opts, iter); err != nil {
+			cleanup()
+			return nil, iter, err
+		}
 		matrix.MulTo(hl, h, l)
 		matrix.MulTo(lh, l, h)
 		matrix.AddTo(u, hl, lh)
@@ -492,6 +548,10 @@ func warmIterationR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, init 
 		ws.PutLU(lu)
 	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := iterTick(&opts, iter); err != nil {
+			cleanup()
+			return nil, iter, err
+		}
 		if sd2 != nil {
 			matrix.MulCSRTo(u, r, sd2)
 		} else {
@@ -544,6 +604,10 @@ func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws
 		ws.PutLU(lu)
 	}
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		if err := iterTick(&opts, iter); err != nil {
+			cleanup()
+			return nil, iter, err
+		}
 		matrix.MulTo(rr, r, r)
 		if sd2 != nil {
 			matrix.MulCSRTo(s, rr, sd2)
@@ -599,6 +663,10 @@ func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matr
 	s, gg, q, next := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
 	cleanup := func() { ws.Put(s, gg, q, next) }
 	for iter := 0; iter < opts.MaxIter*100; iter++ {
+		if err := iterTick(&opts, iter); err != nil {
+			cleanup()
+			return nil, iter, err
+		}
 		matrix.MulTo(s, d1, g)
 		matrix.AddTo(s, d2, s)
 		matrix.MulTo(gg, g, g)

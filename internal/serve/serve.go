@@ -77,6 +77,22 @@ type Config struct {
 	// MaxSweepTrials bounds the grid a single /v1/sweep may expand to.
 	// Default 4096.
 	MaxSweepTrials int
+	// BreakerThreshold is the number of consecutive countable solve
+	// failures (config, deadline and cancellation never count) that trips
+	// a shard's circuit breaker: traffic to the shard is rejected with a
+	// typed 503 while its warm session is discarded and rebuilt cold.
+	// Default 5; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long a tripped shard stays open before one
+	// half-open probe is admitted (success re-closes, failure re-opens).
+	// Default 10 s.
+	BreakerCooldown time.Duration
+	// CacheFsync makes the disk cache fsync after every appended record
+	// (crash-safety over throughput). Off by default: the cache is a
+	// rebuildable store, and recovery-on-open already contains torn tails.
+	CacheFsync bool
+	// breakerNow overrides the breaker clock in tests.
+	breakerNow func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +120,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxSweepTrials <= 0 {
 		c.MaxSweepTrials = 4096
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
 	return c
 }
 
@@ -123,21 +145,25 @@ type Server struct {
 // the shard pool. Callers own Close.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	st, err := newStore(cfg.MemoCap, cfg.CacheDir)
+	st, err := newStore(cfg.MemoCap, cfg.CacheDir, cfg.CacheFsync)
 	if err != nil {
 		return nil, err
 	}
-	p, err := newPool(cfg.Shards, !cfg.ColdSessions, cfg.SolveParallel)
+	met := newMetrics()
+	p, err := newPool(cfg.Shards, !cfg.ColdSessions, cfg.SolveParallel,
+		cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.breakerNow, met.breakerTransition)
 	if err != nil {
 		st.close()
 		return nil, err
 	}
+	p.onPanic = func() { met.panic("shard") }
+	p.onBreakerReject = func() { met.breakerRejected.Add(1) }
 	s := &Server{
 		cfg:     cfg,
 		pool:    p,
 		bucket:  newTokenBucket(cfg.Rate, cfg.Burst),
 		store:   st,
-		met:     newMetrics(),
+		met:     met,
 		started: time.Now(),
 	}
 	s.mux = http.NewServeMux()
@@ -149,8 +175,37 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Handler returns the HTTP front: POST /v1/solve, POST /v1/sweep,
-// GET /healthz, GET /metrics.
-func (s *Server) Handler() http.Handler { return s.mux }
+// GET /healthz, GET /metrics — wrapped in panic recovery, so a bug in
+// any handler costs that request a 500, never the daemon.
+func (s *Server) Handler() http.Handler { return s.withRecovery(s.mux) }
+
+// withRecovery is the outermost middleware: a panicking handler is
+// contained to its request and answered with a typed 500 (best-effort —
+// if the handler already wrote its header the client sees a truncated
+// response, which is the honest outcome of a mid-write panic).
+// http.ErrAbortHandler passes through: it is net/http's own abort
+// protocol, not a bug.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.met.panic("handler")
+			s.writeJSON(w, "panic", http.StatusInternalServerError, errorBody{
+				Error:  fmt.Sprintf("internal panic: %v", rec),
+				Kind:   "panic",
+				Status: http.StatusInternalServerError,
+			}, start)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
 
 // Close drains the shard pool (queued solves finish) and releases the
 // disk store. Idempotent.
@@ -318,7 +373,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.write(w, s.pool.counters(), s.store.memoLen(), s.store.diskLen())
+	s.met.write(w, s.pool.counters(), s.store.memoLen(), s.store.diskLen(),
+		s.pool.breakerStates(), s.store.recovery())
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v any, start time.Time) {
@@ -331,12 +387,17 @@ func (s *Server) writeJSON(w http.ResponseWriter, endpoint string, status int, v
 }
 
 // writeError maps a solver-path error onto its HTTP status via the
-// failure-taxonomy table and ships it as a JSON error body.
+// failure-taxonomy table and ships it as a JSON error body. Typed 503s
+// (drain, tripped breaker) carry a Retry-After so clients can tell
+// "come back shortly" apart from 429's token-bucket backpressure.
 func (s *Server) writeError(w http.ResponseWriter, endpoint string, err error, start time.Time) {
 	status := statusFor(err)
+	if ra := retryAfter(err); ra > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(int(ra/time.Second)+1))
+	}
 	s.writeJSON(w, endpoint, status, errorBody{
 		Error:  err.Error(),
-		Kind:   certify.KindLabel(err),
+		Kind:   errorLabel(err),
 		Status: status,
 	}, start)
 }

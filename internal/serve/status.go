@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"net/http"
+	"time"
 
 	"repro/internal/certify"
 )
@@ -23,6 +24,9 @@ var kindStatus = []struct {
 	Label  string // certify.KindLabel of Kind, asserted by test
 	Status int
 }{
+	// The solve was interrupted mid-iteration by its deadline or the
+	// client's disconnect: the gateway (this daemon) timed the work out.
+	{certify.ErrDeadline, "deadline", http.StatusGatewayTimeout},
 	// The model or request itself is invalid: client error.
 	{certify.ErrConfig, "config", http.StatusBadRequest},
 	// NaN/Inf contamination or lost mass: the solver broke, not the
@@ -40,8 +44,8 @@ var kindStatus = []struct {
 
 // statusFor maps a solver-path error to its HTTP status: deadline and
 // cancellation first (they are transport verdicts, whatever stage they
-// interrupted), then the failure taxonomy, then 500 for anything
-// untyped.
+// interrupted), then the serve-layer conditions (drain, breaker, shard
+// panic), then the failure taxonomy, then 500 for anything untyped.
 func statusFor(err error) int {
 	switch {
 	case err == nil:
@@ -52,6 +56,10 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, errBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, errShardPanic):
+		return http.StatusInternalServerError
 	}
 	for _, e := range kindStatus {
 		if errors.Is(err, e.Kind) {
@@ -59,4 +67,36 @@ func statusFor(err error) int {
 		}
 	}
 	return http.StatusInternalServerError
+}
+
+// errorLabel names err for the JSON error body's kind field: the
+// serve-layer conditions get their own tokens so a client can tell a
+// drain (retry elsewhere now) from a tripped breaker (this shard is
+// cooling down) from a contained panic; everything else defers to the
+// certify taxonomy.
+func errorLabel(err error) string {
+	switch {
+	case errors.Is(err, errDraining):
+		return "draining"
+	case errors.Is(err, errBreakerOpen):
+		return "breaker-open"
+	case errors.Is(err, errShardPanic):
+		return "panic"
+	}
+	return certify.KindLabel(err)
+}
+
+// retryAfter extracts the client-facing retry hint carried by typed 503s:
+// a tripped breaker reports its cooldown remaining; a drain reports one
+// second (the instant another instance, or a restarted this one, could
+// answer). Zero means no hint.
+func retryAfter(err error) time.Duration {
+	var ra interface{ RetryAfter() time.Duration }
+	if errors.As(err, &ra) {
+		return ra.RetryAfter()
+	}
+	if errors.Is(err, errDraining) {
+		return time.Second
+	}
+	return 0
 }

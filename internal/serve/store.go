@@ -26,16 +26,26 @@ type store struct {
 	disk *sweep.Cache
 }
 
-func newStore(memoCap int, dir string) (*store, error) {
+func newStore(memoCap int, dir string, fsync bool) (*store, error) {
 	s := &store{memo: make(map[string]*SolveResponse), cap: memoCap}
 	if dir != "" {
-		c, err := sweep.OpenCache(dir)
+		c, err := sweep.OpenCacheWith(dir, sweep.CacheOptions{Fsync: fsync})
 		if err != nil {
 			return nil, err
 		}
 		s.disk = c
 	}
 	return s, nil
+}
+
+// recovery reports what the disk tier's recovery-on-open found (zero
+// when memo-only) — the /metrics surface for torn tails and quarantined
+// records.
+func (s *store) recovery() sweep.CacheRecovery {
+	if s.disk == nil {
+		return sweep.CacheRecovery{}
+	}
+	return s.disk.Recovery()
 }
 
 // get returns a stored answer and its tier ("memo" or "disk"). The

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -30,6 +31,14 @@ type cacheShard struct {
 // successful results are stored; errors and panics are always retried on
 // a re-run.
 //
+// Every appended record carries a CRC32C of its content, and opening the
+// cache runs crash recovery: a torn final line (a run killed mid-append)
+// is truncated away, interior records that fail to parse or to verify
+// are quarantined to a ".corrupt" sidecar instead of silently vanishing,
+// and the counts are reported via Recovery — surfaced in sweep manifests
+// and on gangserved's /metrics. Records written before checksums existed
+// load fine and are counted as legacy.
+//
 // Lock order: Get/Put/Len hold resetMu read-side, then one stripe mutex
 // (and, for Put, ioMu for the disk append). Reset and Close take resetMu
 // write-side, so a Put can never land its memory insert before a
@@ -38,16 +47,76 @@ type Cache struct {
 	resetMu sync.RWMutex
 	shards  [cacheShards]cacheShard
 
-	ioMu sync.Mutex // serializes JSONL appends beneath the stripes
-	file *os.File
-	enc  *json.Encoder
-	w    *bufio.Writer
+	ioMu  sync.Mutex // serializes JSONL appends beneath the stripes
+	file  *os.File
+	w     *bufio.Writer
+	fsync bool
+
+	rec CacheRecovery // what recovery-on-open found; immutable after open
 }
 
-// cacheRecord is one JSONL line of the on-disk store.
+// CacheOptions tune the disk tier.
+type CacheOptions struct {
+	// Fsync forces a file sync after every appended record. Off by
+	// default: the cache is a rebuildable store and recovery-on-open
+	// already contains torn tails, so most deployments prefer the
+	// throughput; turn it on when the cache is the artifact of record.
+	Fsync bool
+}
+
+// CacheRecovery reports what opening a disk cache had to repair.
+type CacheRecovery struct {
+	// Quarantined counts newline-terminated records that failed JSON
+	// parsing or checksum verification and were moved to the ".corrupt"
+	// sidecar next to the cache file.
+	Quarantined int `json:"quarantined,omitempty"`
+	// TornBytes is the length of the unterminated final line truncated
+	// away — the footprint of a crash mid-append.
+	TornBytes int64 `json:"tornBytes,omitempty"`
+	// Legacy counts records accepted without a checksum (written before
+	// the crc field existed).
+	Legacy int `json:"legacy,omitempty"`
+}
+
+// cacheRecord is one JSONL line of the on-disk store. CRC is the
+// CRC32C (hex) of the record's own JSON encoding without the crc field;
+// json.Marshal is deterministic (struct order fixed, map keys sorted,
+// minimal float formatting round-trips exactly), so re-marshaling the
+// decoded record reproduces the checksummed bytes.
 type cacheRecord struct {
 	Key    string             `json:"key"`
 	Values map[string]float64 `json:"values"`
+	CRC    string             `json:"crc,omitempty"`
+}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// encodeRecord renders the full JSONL line (newline included) for one
+// record, checksum embedded.
+func encodeRecord(key string, values map[string]float64) ([]byte, error) {
+	payload, err := json.Marshal(cacheRecord{Key: key, Values: values})
+	if err != nil {
+		return nil, err
+	}
+	line, err := json.Marshal(cacheRecord{Key: key, Values: values,
+		CRC: fmt.Sprintf("%08x", crc32.Checksum(payload, castagnoli))})
+	if err != nil {
+		return nil, err
+	}
+	return append(line, '\n'), nil
+}
+
+// verifyRecord re-derives a decoded record's checksum. legacy is true
+// for pre-checksum records, which are accepted as-is.
+func verifyRecord(rec *cacheRecord) (ok, legacy bool) {
+	if rec.CRC == "" {
+		return true, true
+	}
+	payload, err := json.Marshal(cacheRecord{Key: rec.Key, Values: rec.Values})
+	if err != nil {
+		return false, false
+	}
+	return fmt.Sprintf("%08x", crc32.Checksum(payload, castagnoli)) == rec.CRC, false
 }
 
 // shard maps a content-hash key onto its stripe (FNV-1a, folded).
@@ -69,27 +138,22 @@ func NewMemCache() *Cache {
 	return c
 }
 
-// OpenCache opens (creating as needed) the disk-backed cache in dir,
-// loading every existing record into memory. Corrupt trailing lines —
-// e.g. from a run killed mid-write — are skipped, not fatal.
+// OpenCache opens (creating as needed) the disk-backed cache in dir with
+// default options, running crash recovery on the existing file.
 func OpenCache(dir string) (*Cache, error) {
+	return OpenCacheWith(dir, CacheOptions{})
+}
+
+// OpenCacheWith is OpenCache with explicit options.
+func OpenCacheWith(dir string, opts CacheOptions) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("sweep: cache dir: %w", err)
 	}
 	path := filepath.Join(dir, "cache.jsonl")
 	c := NewMemCache()
-	if data, err := os.ReadFile(path); err == nil {
-		sc := bufio.NewScanner(bytes.NewReader(data))
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
-		for sc.Scan() {
-			var rec cacheRecord
-			if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
-				continue
-			}
-			c.shard(rec.Key).mem[rec.Key] = rec.Values
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("sweep: cache read: %w", err)
+	c.fsync = opts.Fsync
+	if err := c.loadAndRecover(path); err != nil {
+		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -97,9 +161,109 @@ func OpenCache(dir string) (*Cache, error) {
 	}
 	c.file = f
 	c.w = bufio.NewWriter(f)
-	c.enc = json.NewEncoder(c.w)
 	return c, nil
 }
+
+// loadAndRecover reads the cache file line by line (no token-size limit:
+// lines are split manually, so a record larger than any scanner buffer
+// still loads), loading verified records into memory and repairing the
+// rest: an unterminated final line is a torn append and is truncated
+// away; terminated lines that fail parsing or checksum are quarantined
+// to path+".corrupt" and the main file is rewritten (tmp+rename) with
+// only the good lines. The outcome is recorded in c.rec.
+func (c *Cache) loadAndRecover(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: cache read: %w", err)
+	}
+	var good, corrupt [][]byte
+	rest := data
+	for len(rest) > 0 {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			// Unterminated tail: the append that wrote it never finished.
+			c.rec.TornBytes = int64(len(rest))
+			break
+		}
+		line := rest[:nl]
+		rest = rest[nl+1:]
+		var rec cacheRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			corrupt = append(corrupt, line)
+			continue
+		}
+		ok, legacy := verifyRecord(&rec)
+		if !ok {
+			corrupt = append(corrupt, line)
+			continue
+		}
+		if legacy {
+			c.rec.Legacy++
+		}
+		c.shard(rec.Key).mem[rec.Key] = rec.Values
+		good = append(good, line)
+	}
+	c.rec.Quarantined = len(corrupt)
+	if len(corrupt) > 0 {
+		if err := appendLines(path+".corrupt", corrupt); err != nil {
+			return fmt.Errorf("sweep: cache quarantine: %w", err)
+		}
+		// Interior damage: rewrite the file with only the good lines,
+		// atomically, so a crash mid-repair never loses the good records.
+		tmp := path + ".tmp"
+		if err := writeLines(tmp, good); err != nil {
+			return fmt.Errorf("sweep: cache rewrite: %w", err)
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return fmt.Errorf("sweep: cache rewrite: %w", err)
+		}
+	} else if c.rec.TornBytes > 0 {
+		// Tail-only damage: truncate the torn bytes in place.
+		if err := os.Truncate(path, int64(len(data))-c.rec.TornBytes); err != nil {
+			return fmt.Errorf("sweep: cache truncate: %w", err)
+		}
+	}
+	return nil
+}
+
+func appendLines(path string, lines [][]byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := f.Write(append(l, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+func writeLines(path string, lines [][]byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	for _, l := range lines {
+		if _, err := f.Write(append(l, '\n')); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Recovery reports what opening this cache's disk file had to repair
+// (all-zero for healthy files and memory-only caches).
+func (c *Cache) Recovery() CacheRecovery { return c.rec }
 
 // Get returns the cached values for key, if present.
 func (c *Cache) Get(key string) (map[string]float64, bool) {
@@ -112,9 +276,9 @@ func (c *Cache) Get(key string) (map[string]float64, bool) {
 	return v, ok
 }
 
-// Put stores values under key, appending to the disk store when one is
-// attached. Re-putting an existing key is a no-op. Puts to different
-// stripes only contend on the disk appender.
+// Put stores values under key, appending a checksummed record to the
+// disk store when one is attached. Re-putting an existing key is a
+// no-op. Puts to different stripes only contend on the disk appender.
 func (c *Cache) Put(key string, values map[string]float64) error {
 	c.resetMu.RLock()
 	defer c.resetMu.RUnlock()
@@ -126,15 +290,27 @@ func (c *Cache) Put(key string, values map[string]float64) error {
 	}
 	sh.mem[key] = values
 	sh.mu.Unlock()
-	if c.enc == nil {
+	if c.file == nil {
 		return nil
+	}
+	line, err := encodeRecord(key, values)
+	if err != nil {
+		return fmt.Errorf("sweep: cache append: %w", err)
 	}
 	c.ioMu.Lock()
 	defer c.ioMu.Unlock()
-	if err := c.enc.Encode(cacheRecord{Key: key, Values: values}); err != nil {
+	if _, err := c.w.Write(line); err != nil {
 		return fmt.Errorf("sweep: cache append: %w", err)
 	}
-	return c.w.Flush()
+	if err := c.w.Flush(); err != nil {
+		return err
+	}
+	if c.fsync {
+		if err := c.file.Sync(); err != nil {
+			return fmt.Errorf("sweep: cache sync: %w", err)
+		}
+	}
+	return nil
 }
 
 // Reset discards every cached result, truncating the disk store when
@@ -184,6 +360,6 @@ func (c *Cache) Close() error {
 		return err
 	}
 	err := c.file.Close()
-	c.file, c.enc, c.w = nil, nil, nil
+	c.file, c.w = nil, nil
 	return err
 }

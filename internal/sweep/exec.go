@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,6 +39,11 @@ type ExecPolicy struct {
 	// serial path. Execution-level only — it never enters Trial hashing
 	// or artifacts, because it cannot change a result bit.
 	SolveParallel int
+	// Ctx, when non-nil, threads into the analytic solver's iteration
+	// loops (qbd.RMatrixOptions.Ctx) so a canceled run interrupts a trial
+	// mid-R-iteration instead of finishing a doomed solve. Execution-level
+	// only — never part of Trial hashing or artifacts.
+	Ctx context.Context
 }
 
 // execOutcome is one attempt's result: the named values, whether the
@@ -75,6 +81,7 @@ var execute = func(t Trial, pol ExecPolicy, ses *core.Session) (execOutcome, err
 		if pol.SolveParallel > 1 {
 			copts.Parallel = pol.SolveParallel
 		}
+		copts.RMatrix.Ctx = pol.Ctx
 		var res *core.Result
 		var serr error
 		switch {

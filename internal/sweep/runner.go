@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"math"
 	"runtime"
 	"sync"
@@ -31,6 +32,13 @@ type Options struct {
 	// RetryScale multiplies the fixed-point iteration budget on each
 	// retry. Default 4.
 	RetryScale int
+	// RetryBackoff is the base pause before the first retry of a
+	// non-converged analytic trial; each further retry doubles it, and a
+	// deterministic per-trial jitter (hashed from the trial key) staggers
+	// a grid of boundary trials so they don't refire in lockstep. The
+	// delays taken are recorded per attempt in the manifest. Default
+	// 25ms; negative disables backoff entirely.
+	RetryBackoff time.Duration
 	// Progress, when non-nil, is called after every finished trial with
 	// the completion count (calls are serialized).
 	Progress func(done, total int, r TrialResult)
@@ -73,6 +81,11 @@ func (o Options) withDefaults() Options {
 	if o.RetryScale == 0 {
 		o.RetryScale = 4
 	}
+	if o.RetryBackoff == 0 {
+		o.RetryBackoff = 25 * time.Millisecond
+	} else if o.RetryBackoff < 0 {
+		o.RetryBackoff = 0
+	}
 	return o
 }
 
@@ -105,6 +118,7 @@ type TrialResult struct {
 	Status   string        `json:"-"`
 	Attempts int           `json:"-"`
 	Elapsed  time.Duration `json:"-"`
+	Backoff  time.Duration `json:"-"` // total retry backoff slept, manifest-only
 	Kind     string        `json:"-"` // failure-taxonomy label, manifest-only
 	// Counters are the trial's solver-pipeline statistics (zero for
 	// cached trials and non-analytic methods); manifest-only, summed
@@ -119,7 +133,11 @@ type TrialStatus struct {
 	Status   string `json:"status"`
 	Attempts int    `json:"attempts,omitempty"`
 	Millis   int64  `json:"millis"`
-	Err      string `json:"err,omitempty"`
+	// BackoffMillis is the total exponential-backoff delay slept between
+	// this trial's retry attempts (0 for first-try successes; omitted so
+	// healthy manifests are unchanged).
+	BackoffMillis int64  `json:"backoffMillis,omitempty"`
+	Err           string `json:"err,omitempty"`
 	// Kind is the failure-taxonomy label of the trial's error ("config",
 	// "numeric", "not-converged", ...), empty for healthy trials.
 	Kind string `json:"kind,omitempty"`
@@ -161,6 +179,10 @@ type Manifest struct {
 	// the warm/cold/accepted split. Omitted when no analytic solver work
 	// ran (all-cached or all-simulation runs).
 	Pipeline *core.Counters `json:"pipeline,omitempty"`
+	// CacheRecovery reports what the disk cache's recovery-on-open had to
+	// repair (quarantined records, torn-tail bytes, legacy records).
+	// Omitted for healthy caches, so their manifests are unchanged.
+	CacheRecovery *CacheRecovery `json:"cacheRecovery,omitempty"`
 	PerTrial []TrialStatus  `json:"perTrial"`
 }
 
@@ -221,7 +243,7 @@ func RunTrials(ctx context.Context, trials []Trial, opts Options) (*Run, error) 
 						return
 					default:
 					}
-					results[i] = runOne(trials[i], i, opts, ses)
+					results[i] = runOne(ctx, trials[i], i, opts, ses)
 					report(i)
 				}
 			}(q, newWarmSession())
@@ -234,7 +256,7 @@ func RunTrials(ctx context.Context, trials []Trial, opts Options) (*Run, error) 
 			go func() {
 				defer wg.Done()
 				for i := range indices {
-					results[i] = runOne(trials[i], i, opts, nil)
+					results[i] = runOne(ctx, trials[i], i, opts, nil)
 					report(i)
 				}
 			}()
@@ -269,10 +291,13 @@ func RunTrials(ctx context.Context, trials []Trial, opts Options) (*Run, error) 
 
 // runOne executes a single trial with cache lookup, panic isolation and
 // retry-with-escalated-iteration-budget on fixed-point non-convergence.
-// A non-nil ses makes the attempts warm-started; warm results are never
-// written back to the cache (the cache stays a store of cold-certified
-// values that any run mode can safely read).
-func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult) {
+// Retries pause under exponential backoff with deterministic per-trial
+// jitter; ctx cuts both the backoff sleep and (via ExecPolicy.Ctx) the
+// solver's iteration loops. A non-nil ses makes the attempts
+// warm-started; warm results are never written back to the cache (the
+// cache stays a store of cold-certified values that any run mode can
+// safely read).
+func runOne(ctx context.Context, t Trial, index int, opts Options, ses *core.Session) (r TrialResult) {
 	start := time.Now()
 	r = TrialResult{Index: index, Key: t.Key(), Method: t.Method, Point: t.Point}
 	defer func() { r.Elapsed = time.Since(start) }()
@@ -285,12 +310,27 @@ func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult)
 	}
 
 	// Escalate the fixed-point budget before going again: some grid
-	// points near the stability boundary converge slowly.
-	escalate := func() {
+	// points near the stability boundary converge slowly. The backoff
+	// pause precedes the re-fire; a run canceled mid-pause records the
+	// trial as canceled rather than burning another attempt.
+	escalate := func(attempt int) bool {
 		if t.Solve.MaxIterations == 0 {
 			t.Solve.MaxIterations = 200 // core's default
 		}
 		t.Solve.MaxIterations *= opts.RetryScale
+		d := retryDelay(opts.RetryBackoff, r.Key, attempt)
+		if d <= 0 {
+			return true
+		}
+		r.Backoff += d
+		timer := time.NewTimer(d)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+			return true
+		case <-ctx.Done():
+			return false
+		}
 	}
 	for attempt := 1; ; attempt++ {
 		r.Attempts = attempt
@@ -299,6 +339,7 @@ func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult)
 			AllowDegraded: opts.AllowDegraded,
 			FinalAttempt:  attempt > opts.MaxRetries,
 			SolveParallel: opts.SolveParallel,
+			Ctx:           ctx,
 		}
 		out, err := attemptTrial(t, pol, ses)
 		retryable := t.Method == MethodAnalytic && attempt <= opts.MaxRetries
@@ -310,7 +351,11 @@ func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult)
 			return r
 		case err != nil && retryable && errors.Is(err, certify.ErrNotConverged):
 			// A typed non-convergence is the one retryable failure kind.
-			escalate()
+			if !escalate(attempt) {
+				r.Status = StatusCanceled
+				r.Err = ctx.Err().Error()
+				return r
+			}
 			continue
 		case err != nil:
 			r.Status = StatusError
@@ -318,7 +363,11 @@ func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult)
 			r.Kind = certify.KindLabel(err)
 			return r
 		case !out.converged && retryable:
-			escalate()
+			if !escalate(attempt) {
+				r.Status = StatusCanceled
+				r.Err = ctx.Err().Error()
+				return r
+			}
 			continue
 		}
 		r.Values = out.values
@@ -342,6 +391,23 @@ func runOne(t Trial, index int, opts Options, ses *core.Session) (r TrialResult)
 }
 
 var errPanic = fmt.Errorf("sweep: trial panicked")
+
+// retryDelay is the pause before retry number n (n = 1 after the first
+// failed attempt): base·2^(n-1), scaled by a deterministic jitter factor
+// in [0.5, 1) hashed from the trial key. Jitter staggers a grid of
+// boundary trials that would otherwise all refire together; hashing it
+// from the key keeps identical runs identically timed, so manifests stay
+// reproducible.
+func retryDelay(base time.Duration, key string, n int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base << uint(n-1)
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	factor := 0.5 + float64(h.Sum64()%1000)/2000
+	return time.Duration(float64(d) * factor)
+}
 
 // attemptTrial runs one execute attempt with panic isolation, then guards
 // the outgoing values: a NaN or ±Inf must never reach the artifacts or
@@ -417,7 +483,8 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 		}
 		m.PerTrial = append(m.PerTrial, TrialStatus{
 			Index: r.Index, Key: r.Key, Status: r.Status,
-			Attempts: r.Attempts, Millis: r.Elapsed.Milliseconds(), Err: r.Err,
+			Attempts: r.Attempts, Millis: r.Elapsed.Milliseconds(),
+			BackoffMillis: r.Backoff.Milliseconds(), Err: r.Err,
 			Kind: r.Kind,
 		})
 	}
@@ -426,6 +493,11 @@ func buildManifest(opts Options, results []TrialResult, wall time.Duration) Mani
 	}
 	if pipeline.Solves > 0 {
 		m.Pipeline = &pipeline
+	}
+	if opts.Cache != nil {
+		if rec := opts.Cache.Recovery(); rec != (CacheRecovery{}) {
+			m.CacheRecovery = &rec
+		}
 	}
 	return m
 }
