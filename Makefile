@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-full ci chaos chaos-short fuzz-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-compare
+.PHONY: build vet test race race-full ci chaos chaos-short fuzz-short xcheck xcheck-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-compare
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,7 @@ ci: build vet race
 	GOMAXPROCS=4 $(GO) test -race -count 1 ./internal/core/
 	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'TestCache' ./internal/sweep/
 	$(MAKE) chaos-short
+	$(MAKE) xcheck-short
 
 # chaos soaks the daemon under the seeded fault schedules (injected shard
 # panics, numeric failures, solver latency, NaN-contaminated R iterates,
@@ -66,6 +67,30 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRMatrixCertify -fuzztime 30s ./internal/certify/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSolveRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzCacheRecovery -fuzztime 30s ./internal/sweep/
+	$(GO) test -run '^$$' -fuzz FuzzScenarioCorpus -fuzztime 30s ./internal/xcheck/
+
+# xcheck is the differential validation oracle (DESIGN.md §14): every
+# corpus scenario is answered independently by the analytic fixed point
+# and the discrete-event simulator, gated by tolerance-widened
+# batch-means CIs plus metamorphic invariants. `make xcheck` runs the
+# full 200-case corpus and regenerates the committed report
+# (xcheck-report.json — byte-identical across runs given the seed, at
+# any worker count); failure artifacts land under the gitignored
+# xcheck-out/ with their replay command printed. xcheck-short is the ci
+# tier: first a GOMAXPROCS=4 race pass over the oracle's machinery (the
+# worker pool at two widths, a full end-to-end case, and the
+# injected-bug detection test), then the 32-case corpus prefix — the
+# literal first 32 cases of the committed corpus — without the
+# detector. Racing the full slice is excluded for the same reason
+# `race` skips internal/experiments: the solver-heavy corpus cases need
+# upwards of 20 minutes under the detector on a 1-CPU machine.
+xcheck:
+	$(GO) run ./cmd/gangcheck -n 200 -out xcheck-report.json
+
+xcheck-short:
+	GOMAXPROCS=4 $(GO) test -race -count 1 \
+		-run 'TestRunPoolDeterministic|TestCheckCaseAgrees|TestInjectedBugCaught' ./internal/xcheck/
+	$(GO) run ./cmd/gangcheck -n 32 -workers 4 -quiet
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .

@@ -1,0 +1,139 @@
+// Command gangcheck runs the differential validation oracle: a seeded
+// corpus of generated scenarios, each solved by the analytic pipeline
+// and measured by the discrete-event simulator, with the two answers
+// cross-checked under calibrated tolerance gates and metamorphic
+// invariants (monotonicity in λ, utilization law, stability-boundary
+// consistency, time-rescale equivalence).
+//
+// Usage:
+//
+//	gangcheck -n 32                           # short slice, report to stdout
+//	gangcheck -n 200 -out xcheck-report.json  # full corpus, committed report
+//	gangcheck -seed 7 -n 64 -workers 4        # different corpus, bounded pool
+//	gangcheck -replay xcheck-out/case-ab12cd34ef56.json   # rerun one failure
+//
+// Every non-agreeing case is written to -triage-dir (default xcheck-out)
+// as a self-contained artifact: the scenario, both engines' summaries,
+// every check verdict, and the exact solver parameters — replayable
+// bit-for-bit with -replay. The report itself is deterministic: the same
+// (seed, n) always produce the same bytes, regardless of -workers.
+//
+// Exit status: 0 all cases agree, 1 any disagreement or engine error,
+// 2 usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+
+	"repro/internal/xcheck"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1996, "corpus seed (case i depends only on (seed, i))")
+		n         = flag.Int("n", 200, "number of corpus cases")
+		out       = flag.String("out", "", "write the deterministic corpus report to this path")
+		triageDir = flag.String("triage-dir", "xcheck-out", "directory for per-failure triage artifacts")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = all cores); never affects results")
+		replay    = flag.String("replay", "", "rerun one triage artifact instead of a corpus")
+		quiet     = flag.Bool("quiet", false, "suppress per-case progress")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if *replay != "" {
+		os.Exit(replayOne(*replay))
+	}
+	if *n < 1 {
+		fmt.Fprintln(os.Stderr, "gangcheck: -n must be at least 1")
+		os.Exit(2)
+	}
+
+	params := xcheck.DefaultParams()
+	cases := xcheck.Generate(*seed, *n)
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
+	}
+
+	var onCase func(xcheck.CaseReport)
+	done := 0
+	if !*quiet {
+		onCase = func(cr xcheck.CaseReport) {
+			done++
+			marker := ""
+			if cr.Status != xcheck.CaseAgree {
+				marker = "  <-- " + cr.Status
+			}
+			fmt.Fprintf(os.Stderr, "gangcheck: [%d/%d] case %d %s%s\n", done, *n, cr.Index, cr.Status, marker)
+		}
+	}
+
+	rep, full := xcheck.Run(cases, params, *workers, onCase)
+	rep.Seed = *seed
+
+	status := 0
+	for i := range full {
+		if full[i].Status == xcheck.CaseAgree {
+			continue
+		}
+		status = 1
+		path, err := xcheck.WriteTriage(*triageDir, full[i], params)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gangcheck:", err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "gangcheck: case %d %s: triage written; replay with:\n  gangcheck -replay %s\n",
+			full[i].Index, full[i].Status, path)
+	}
+
+	fmt.Printf("gangcheck: seed=%d n=%d agree=%d disagree=%d errors=%d maxMargin=%.3f (%s)\n",
+		*seed, *n, rep.Agree, rep.Disagree, rep.Errors, rep.MaxMargin, rep.MaxMarginCase)
+	if names := rep.FailedCheckNames(); len(names) > 0 {
+		fmt.Printf("gangcheck: broken invariants: %v\n", names)
+	}
+
+	if *out != "" {
+		if err := xcheck.WriteReport(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "gangcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gangcheck: report written to %s\n", *out)
+	}
+	os.Exit(status)
+}
+
+// replayOne reruns a single triage artifact and reports whether the
+// failure reproduces, diffing the fresh verdicts against the stored ones.
+func replayOne(path string) int {
+	t, err := xcheck.LoadTriage(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gangcheck:", err)
+		return 2
+	}
+	fresh := t.Rerun()
+	fmt.Printf("gangcheck: replay case %d (%s): stored=%s fresh=%s\n",
+		t.Case.Index, t.Case.ID, t.Case.Status, fresh.Status)
+	for _, ck := range fresh.Checks {
+		if ck.Status == xcheck.StatusFail {
+			name := ck.Name
+			if ck.Class >= 0 {
+				name = fmt.Sprintf("%s[%d]", ck.Name, ck.Class)
+			}
+			fmt.Printf("  FAIL %s margin=%.3f: %s\n", name, ck.Margin, ck.Detail)
+		}
+	}
+	if fresh.Err != "" {
+		fmt.Printf("  error (%s): %s\n", fresh.ErrKind, fresh.Err)
+	}
+	if fresh.Status != xcheck.CaseAgree {
+		return 1
+	}
+	fmt.Println("gangcheck: failure did not reproduce (fixed, or environment-dependent — which the oracle is designed to rule out)")
+	return 0
+}

@@ -65,6 +65,7 @@ func TestKindLabel(t *testing.T) {
 		{&Failure{Kind: ErrSingularBoundary}, "singular-boundary"},
 		{&Failure{Kind: ErrUnstableClass}, "unstable"},
 		{&Failure{Kind: ErrNotConverged}, "not-converged"},
+		{&Failure{Kind: ErrDisagreement}, "disagreement"},
 		{errors.New("raw"), "error"},
 		{fmt.Errorf("wrapped: %w", &Failure{Kind: ErrNotConverged}), "not-converged"},
 	}

@@ -41,13 +41,24 @@ var (
 	// that the request's time budget ran out first. Failure.Iterations
 	// records the partial progress at the interrupt.
 	ErrDeadline = errors.New("certify: solve interrupted by deadline or cancellation")
+	// ErrDisagreement: two independent engines (the analytic solver and
+	// the discrete-event simulator) produced answers for the same
+	// scenario that cannot both be right — the analytic point fell
+	// outside the simulator's tolerance-widened confidence interval, or a
+	// metamorphic invariant that needs no oracle (monotonicity,
+	// utilization law, stability consistency, scale equivalence) broke.
+	// Unlike the other kinds it does not indict one computation: it says
+	// the model build, the solver, or the simulator is wrong somewhere,
+	// and a certificate alone could not have caught it. Raised by
+	// internal/xcheck, never by the solver pipeline itself.
+	ErrDisagreement = errors.New("certify: analytic and simulation results disagree")
 )
 
 // kinds, in classification-priority order: deadline trumps everything —
 // a solve killed mid-iteration reports why it died, not what the torn
 // iterate looked like — then contamination and config trump the softer
 // kinds when an error chain carries several.
-var kinds = []error{ErrDeadline, ErrConfig, ErrNumericContaminated, ErrSingularBoundary, ErrUnstableClass, ErrNotConverged}
+var kinds = []error{ErrDeadline, ErrConfig, ErrDisagreement, ErrNumericContaminated, ErrSingularBoundary, ErrUnstableClass, ErrNotConverged}
 
 // Failure is a taxonomy error with diagnostics. Kind is one of the
 // package sentinels; Err is the underlying cause (possibly an
@@ -98,8 +109,9 @@ func Classify(err, def error) error {
 }
 
 // KindLabel renders err's taxonomy kind as a short manifest-friendly
-// token: "deadline", "config", "numeric", "singular-boundary",
-// "unstable", "not-converged", "error" (untyped), or "" for nil.
+// token: "deadline", "config", "disagreement", "numeric",
+// "singular-boundary", "unstable", "not-converged", "error" (untyped),
+// or "" for nil.
 func KindLabel(err error) string {
 	switch {
 	case err == nil:
@@ -108,6 +120,8 @@ func KindLabel(err error) string {
 		return "deadline"
 	case errors.Is(err, ErrConfig):
 		return "config"
+	case errors.Is(err, ErrDisagreement):
+		return "disagreement"
 	case errors.Is(err, ErrNumericContaminated):
 		return "numeric"
 	case errors.Is(err, ErrSingularBoundary):

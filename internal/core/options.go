@@ -26,7 +26,12 @@ type SolveOptions struct {
 	// DisableAcceleration turns off the Aitken Δ² extrapolation applied
 	// every third iterate to the effective-quantum parameters. The
 	// un-accelerated iteration converges linearly with ratio ≈ 0.9 at
-	// light loads, so acceleration is on by default.
+	// light loads, so acceleration is on by default. The accelerated
+	// iteration is additionally safeguarded: if the convergence metric
+	// stops reaching new lows for accelStallWindow consecutive rounds
+	// (the extrapolation can settle into a limit cycle on coupled
+	// multi-class maps), the solve drops back to the plain monotone
+	// iteration for its remaining rounds.
 	DisableAcceleration bool
 	// MaxFitOrder caps the order of the moment-matched effective-quantum
 	// stand-in (ablation A2). Default 8.

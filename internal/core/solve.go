@@ -140,6 +140,8 @@ func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Re
 	prevN := make([]float64, l)
 	hist := make([][]quantumParams, l) // recent parameter iterates per class
 	workers := opts.workers(l)
+	accel := !opts.DisableAcceleration
+	var stall accelStall
 
 	var res *Result
 	for iter := 1; iter <= opts.MaxIterations; iter++ {
@@ -203,6 +205,20 @@ func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Re
 		if iter == opts.MaxIterations {
 			break
 		}
+		// Safeguard on the Δ² acceleration: the componentwise extrapolation
+		// can overshoot on coupled multi-class maps and settle into a limit
+		// cycle that orbits the fixed point without ever meeting the
+		// tolerance (first seen on a high-SCV bulk-arrival class, where the
+		// accelerated iterates cycled at ~1e-3 relative amplitude forever
+		// while the plain contraction converged in 19 rounds). When the
+		// convergence metric stops reaching new lows for a full window of
+		// rounds, drop the extrapolation for the rest of the solve and let
+		// the monotone plain iteration finish the job. Solves that were
+		// converging anyway never trip this, so their iterates — and every
+		// artifact pinned to them — are bit-for-bit unchanged.
+		if iter > 1 && accel && stall.step(maxDelta) {
+			accel = false
+		}
 
 		// Rebuild the effective quanta for the next round. Unstable
 		// classes always exhaust their quantum, so they keep G_p.
@@ -225,7 +241,7 @@ func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Re
 			// Aitken Δ² extrapolation on three consecutive iterates: the
 			// plain iteration is a slow linear contraction, acceleration
 			// typically cuts the iteration count by an order of magnitude.
-			if !opts.DisableAcceleration && len(hist[p]) >= 3 {
+			if accel && len(hist[p]) >= 3 {
 				n := len(hist[p])
 				pr = aitken(hist[p][n-3], hist[p][n-2], hist[p][n-1])
 				hist[p] = append(hist[p][:0], pr)
@@ -257,6 +273,41 @@ func (s *Session) runFixedPoint(m *Model, opts SolveOptions, cnt *Counters) (*Re
 		return res, ferr
 	}
 	return res, nil
+}
+
+// accelStallWindow is how many consecutive fixed-point rounds may pass
+// without a new low in the convergence metric before the Δ² acceleration
+// is judged to be cycling rather than converging. Ten rounds is more
+// than three full extrapolation periods (the acceleration fires every
+// third iterate). The margin matters: traced accelerated solves that do
+// converge show a decaying oscillation that sets a new low at least
+// once per period after a transition plateau of up to six stale rounds,
+// so a window of ten leaves them untouched — and their committed
+// artifacts bit-identical — while a genuine limit cycle (constant
+// amplitude, no new lows ever) still trips it a few rounds later.
+const accelStallWindow = 10
+
+// accelStall watches the fixed point's convergence metric for the
+// acceleration safeguard: it remembers the best (lowest) maxDelta seen
+// and counts rounds since that low was last improved.
+type accelStall struct {
+	best  float64
+	stale int
+}
+
+// step records one round's convergence metric and reports whether the
+// acceleration should be abandoned: true once accelStallWindow rounds
+// have passed without a new low. A zero accelStall is ready to use (its
+// zero best is replaced on the first call because any metric beats an
+// unset best).
+func (a *accelStall) step(delta float64) bool {
+	if a.best == 0 || delta < a.best {
+		a.best = delta
+		a.stale = 0
+		return false
+	}
+	a.stale++
+	return a.stale >= accelStallWindow
 }
 
 // quantumParams is the reduced parameterization of an effective quantum

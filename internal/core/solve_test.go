@@ -379,3 +379,46 @@ func TestDriftMatchesUtilizationBoundary(t *testing.T) {
 		t.Fatal("rho=1.05 should be unstable")
 	}
 }
+
+// TestAccelStallSafeguard pins the acceleration governor: a descending
+// convergence metric never trips it, a limit cycle trips it after
+// exactly accelStallWindow stale rounds, and a new low anywhere in the
+// window resets the count.
+func TestAccelStallSafeguard(t *testing.T) {
+	var a accelStall
+	for i, d := range []float64{1e-1, 3e-2, 1e-2, 3e-3, 1e-3, 3e-4, 1e-4} {
+		if a.step(d) {
+			t.Fatalf("descending metric tripped the safeguard at step %d", i)
+		}
+	}
+	// A 3-cycle around 1e-3: no new low, trips on the sixth stale round.
+	a = accelStall{}
+	a.step(1e-3) // sets the low
+	cycle := []float64{2.2e-3, 1.4e-3, 1.1e-3}
+	for i := 0; i < accelStallWindow; i++ {
+		got := a.step(cycle[i%len(cycle)])
+		want := i == accelStallWindow-1
+		if got != want {
+			t.Fatalf("stale round %d: step = %v, want %v", i+1, got, want)
+		}
+	}
+	// A new low mid-window resets the stale count.
+	a = accelStall{}
+	a.step(1e-3)
+	for i := 0; i < accelStallWindow-1; i++ {
+		if a.step(2e-3) {
+			t.Fatal("tripped before the window filled")
+		}
+	}
+	if a.step(5e-4) {
+		t.Fatal("a new low must reset the safeguard")
+	}
+	for i := 0; i < accelStallWindow-1; i++ {
+		if a.step(6e-4) {
+			t.Fatalf("tripped %d rounds after the reset", i+1)
+		}
+	}
+	if !a.step(6e-4) {
+		t.Fatal("safeguard must trip once the window refills after a reset")
+	}
+}

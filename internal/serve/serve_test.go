@@ -383,7 +383,7 @@ func TestRequestRejections(t *testing.T) {
 // exactly one row, and each row maps a Failure of its kind to its
 // status.
 func TestStatusTableExhaustive(t *testing.T) {
-	wantLabels := []string{"deadline", "config", "numeric", "singular-boundary", "unstable", "not-converged"}
+	wantLabels := []string{"deadline", "config", "disagreement", "numeric", "singular-boundary", "unstable", "not-converged"}
 	if len(kindStatus) != len(wantLabels) {
 		t.Fatalf("table has %d rows, want one per taxonomy kind (%d)", len(kindStatus), len(wantLabels))
 	}

@@ -29,6 +29,10 @@ var kindStatus = []struct {
 	{certify.ErrDeadline, "deadline", http.StatusGatewayTimeout},
 	// The model or request itself is invalid: client error.
 	{certify.ErrConfig, "config", http.StatusBadRequest},
+	// The analytic answer contradicts the simulator (raised by the
+	// internal/xcheck oracle, not the serving path): a correctness
+	// breakdown on our side, not the client's.
+	{certify.ErrDisagreement, "disagreement", http.StatusInternalServerError},
 	// NaN/Inf contamination or lost mass: the solver broke, not the
 	// request.
 	{certify.ErrNumericContaminated, "numeric", http.StatusInternalServerError},

@@ -163,6 +163,17 @@ func (w *windowedTimeAvg) integrate(t float64) {
 			break
 		}
 		bEnd := w.start + float64(idx+1)*w.width
+		// When a previous iteration left lo exactly on a batch boundary,
+		// the division above can round down (e.g. (8.8-4)/1.6 < 3) and
+		// recompute bEnd == lo — zero progress forever. Step past such
+		// boundaries; the segment's mass belongs to the next batch.
+		for bEnd <= lo {
+			idx++
+			if idx >= len(w.area) {
+				return
+			}
+			bEnd = w.start + float64(idx+1)*w.width
+		}
 		seg := math.Min(hi, bEnd)
 		w.area[idx] += (seg - lo) * w.lastV
 		lo = seg

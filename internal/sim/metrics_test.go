@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestIntegrateBoundaryCollision pins the fix for an infinite loop in
+// the batch integrator: with a batch width that is not exactly
+// representable (here (20−4)/10 = 1.6), advancing to a boundary sets
+// lo = 4 + k·1.6 exactly, and the next iteration's (lo−start)/width
+// division rounds *down* (e.g. (5.6−4)/1.6 < 1), recomputing the same
+// boundary as bEnd — zero progress forever. Any integrate call spanning
+// such a boundary used to hang; the xcheck corpus found it with its
+// first generated window.
+func TestIntegrateBoundaryCollision(t *testing.T) {
+	done := make(chan struct{})
+	var w *windowedTimeAvg
+	go func() {
+		defer close(done)
+		w = newWindowedTimeAvg(4, 20, 10)
+		w.observe(0, 1)  // value 1 from t=0 onward
+		w.observe(12, 2) // spans boundaries 5.6, 7.2, 8.8, 10.4 in one call
+		w.observe(25, 0) // closes out past the window end
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("integrate hung on a batch-boundary collision")
+	}
+	mean, _ := w.meanCI()
+	// Value 1 over [4,12], 2 over [12,20]: mean (8·1 + 8·2)/16 = 1.5.
+	if math.Abs(mean-1.5) > 1e-9 {
+		t.Fatalf("mean = %g, want 1.5 (mass lost at batch boundaries)", mean)
+	}
+}
+
+// TestRunGangAwkwardWindow runs the full simulator under a window whose
+// batch width is inexact — the end-to-end shape of the same hang.
+func TestRunGangAwkwardWindow(t *testing.T) {
+	done := make(chan error, 1)
+	go func() {
+		m := paperModel(0.4, 1.0, 0.01)
+		_, err := RunGang(Config{Model: m, Seed: 3, Warmup: 4, Horizon: 20, Debug: true})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("RunGang hung on an awkward measurement window")
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestBatchMeansIntervalDegenerate locks the conservative behavior of
+// the CI math on every degenerate input the xcheck corpus can generate:
+// the half-width must be +Inf with a typed verdict — never NaN, which
+// would compare false against any threshold and silently pass a gate.
+func TestBatchMeansIntervalDegenerate(t *testing.T) {
+	cases := []struct {
+		name    string
+		batches []float64
+		wantHW  float64 // NaN in this column means "must be exactly 0"
+		wantErr error
+	}{
+		{"empty", nil, math.Inf(1), ErrTooFewBatches},
+		{"one batch", []float64{3.2}, math.Inf(1), ErrTooFewBatches},
+		{"nan batch", []float64{1, math.NaN(), 2}, math.Inf(1), ErrNonFiniteSample},
+		{"inf batch", []float64{1, math.Inf(1)}, math.Inf(1), ErrNonFiniteSample},
+		{"neg inf batch", []float64{math.Inf(-1), 1, 2}, math.Inf(1), ErrNonFiniteSample},
+		{"all nan", []float64{math.NaN(), math.NaN()}, math.Inf(1), ErrNonFiniteSample},
+		{"zero variance", []float64{5, 5, 5, 5}, 0, nil},
+		{"huge finite overflow", []float64{1e308, -1e308, 1e308}, math.Inf(1), ErrNonFiniteSample},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var bm BatchMeans
+			for _, x := range c.batches {
+				bm.AddBatch(x)
+			}
+			hw, err := bm.Interval()
+			if !errors.Is(err, c.wantErr) {
+				t.Fatalf("Interval() err = %v, want %v", err, c.wantErr)
+			}
+			if math.IsNaN(hw) {
+				t.Fatalf("Interval() half-width is NaN")
+			}
+			if math.IsInf(c.wantHW, 1) {
+				if !math.IsInf(hw, 1) {
+					t.Fatalf("Interval() = %g, want +Inf", hw)
+				}
+			} else if hw != c.wantHW {
+				t.Fatalf("Interval() = %g, want %g", hw, c.wantHW)
+			}
+			// HalfWidth must agree with Interval and stay NaN-free.
+			if got := bm.HalfWidth(); math.IsNaN(got) || got != hw {
+				t.Fatalf("HalfWidth() = %g, Interval() = %g", got, hw)
+			}
+		})
+	}
+}
+
+// TestBatchMeansHealthy pins the healthy path after the hardening: a
+// plain finite sample still gets its Student-t interval.
+func TestBatchMeansHealthy(t *testing.T) {
+	var bm BatchMeans
+	for _, x := range []float64{10, 12, 11, 9, 13, 10, 11, 12, 9, 13} {
+		bm.AddBatch(x)
+	}
+	hw, err := bm.Interval()
+	if err != nil {
+		t.Fatalf("Interval() err = %v", err)
+	}
+	if hw <= 0 || math.IsInf(hw, 0) || math.IsNaN(hw) {
+		t.Fatalf("Interval() = %g, want finite > 0", hw)
+	}
+	if bm.Mean() != 11 {
+		t.Fatalf("Mean() = %g, want 11", bm.Mean())
+	}
+	// 95% t critical for df=9 is 2.262; se = sqrt(ss/(n-1)/n).
+	if got := bm.HalfWidth(); math.Abs(got-hw) > 0 {
+		t.Fatalf("HalfWidth() = %g disagrees with Interval() = %g", got, hw)
+	}
+}
+
+// TestTimeWeightedEmptyWindow: a warm-up window with no time span must
+// report a 0 mean, not NaN from a 0/0.
+func TestTimeWeightedEmptyWindow(t *testing.T) {
+	var w TimeWeighted
+	if got := w.Mean(0); got != 0 || math.IsNaN(got) {
+		t.Fatalf("never-observed Mean = %g, want 0", got)
+	}
+	w.Observe(5, 3)
+	if got := w.Mean(5); got != 0 || math.IsNaN(got) {
+		t.Fatalf("zero-span Mean = %g, want 0", got)
+	}
+	w.Reset(7, 2)
+	if got := w.Mean(7); got != 0 || math.IsNaN(got) {
+		t.Fatalf("post-Reset zero-span Mean = %g, want 0", got)
+	}
+	if got := w.Mean(9); got != 2 {
+		t.Fatalf("post-Reset Mean(9) = %g, want 2", got)
+	}
+}
+
+// TestSummaryDegenerate: empty and single-observation summaries must
+// stay finite.
+func TestSummaryDegenerate(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Fatalf("empty Summary: mean=%g var=%g sd=%g, want zeros", s.Mean(), s.Variance(), s.StdDev())
+	}
+	s.Add(4)
+	if s.Variance() != 0 {
+		t.Fatalf("single-observation Variance = %g, want 0", s.Variance())
+	}
+	if math.IsNaN(s.Mean()) || s.Mean() != 4 {
+		t.Fatalf("single-observation Mean = %g, want 4", s.Mean())
+	}
+}

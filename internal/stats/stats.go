@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
@@ -114,6 +115,20 @@ type BatchMeans struct {
 	batches []float64
 }
 
+// Typed degeneracy verdicts for Interval. Callers that gate decisions on
+// a confidence interval (the xcheck oracle) must distinguish "the CI is
+// wide" from "there is no CI": a NaN or missing half-width compared with
+// `diff > halfWidth` is silently false, which would pass a gate that
+// never actually ran.
+var (
+	// ErrTooFewBatches: fewer than two batches, so the batch-means
+	// variance — and therefore any interval — is undefined.
+	ErrTooFewBatches = errors.New("stats: fewer than 2 batches, no confidence interval")
+	// ErrNonFiniteSample: at least one batch mean is NaN or ±Inf; the
+	// interval would be meaningless.
+	ErrNonFiniteSample = errors.New("stats: non-finite batch mean, no confidence interval")
+)
+
 // AddBatch records the mean of one batch.
 func (b *BatchMeans) AddBatch(mean float64) { b.batches = append(b.batches, mean) }
 
@@ -134,18 +149,47 @@ func (b *BatchMeans) Mean() float64 {
 
 // HalfWidth returns the half-width of an approximate 95% confidence
 // interval for the steady-state mean, using a Student-t critical value.
+//
+// Degenerate inputs yield conservative answers, never NaN: fewer than
+// two batches or any non-finite batch mean return +Inf (an interval so
+// wide it can never certify agreement or disagreement), and a
+// zero-variance sample returns 0 (the batches are unanimous). Callers
+// that need to tell these cases apart use Interval.
 func (b *BatchMeans) HalfWidth() float64 {
+	hw, err := b.Interval()
+	if err != nil {
+		return math.Inf(1)
+	}
+	return hw
+}
+
+// Interval is HalfWidth with a typed verdict: it returns the 95%
+// half-width, or a degeneracy error (ErrTooFewBatches,
+// ErrNonFiniteSample) explaining why no interval exists. The returned
+// half-width is +Inf — never NaN — whenever err is non-nil, so even a
+// caller that ignores err cannot gate on a silently-passing NaN.
+func (b *BatchMeans) Interval() (halfWidth float64, err error) {
 	n := len(b.batches)
 	if n < 2 {
-		return math.Inf(1)
+		return math.Inf(1), ErrTooFewBatches
+	}
+	for _, x := range b.batches {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return math.Inf(1), ErrNonFiniteSample
+		}
 	}
 	m := b.Mean()
 	var ss float64
 	for _, x := range b.batches {
 		ss += (x - m) * (x - m)
 	}
+	if ss < 0 || math.IsNaN(ss) || math.IsInf(ss, 0) {
+		// Catastrophic cancellation on astronomically large but finite
+		// batch means; conservative rather than sharp.
+		return math.Inf(1), ErrNonFiniteSample
+	}
 	se := math.Sqrt(ss / float64(n-1) / float64(n))
-	return tCritical95(n-1) * se
+	return tCritical95(n-1) * se, nil
 }
 
 // tCritical95 returns the two-sided 95% Student-t critical value for the

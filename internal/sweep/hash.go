@@ -38,6 +38,13 @@ func (t Trial) Key() string {
 // Hash fingerprints the whole spec (recorded in the run manifest).
 func (s *Spec) Hash() string { return hashJSON(s) }
 
+// Key returns the scenario's content address: a hex SHA-256 of its
+// canonical JSON. The xcheck corpus uses it to name scenarios in reports
+// and triage artifacts — the same scenario always gets the same id, no
+// matter which seed or corpus index produced it, and the id commutes
+// with Trial.Key (a Trial embeds the Scenario verbatim).
+func (s Scenario) Key() string { return hashJSON(s) }
+
 func hashJSON(v any) string {
 	data, err := json.Marshal(v)
 	if err != nil {

@@ -1,0 +1,305 @@
+package xcheck
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/certify"
+	"repro/internal/sweep"
+)
+
+// stream is a splitmix64 generator — the corpus's only randomness
+// source. It is deliberately not math/rand: the sequence is pinned by
+// this file alone, so the corpus a seed denotes can never drift under a
+// toolchain upgrade.
+type stream struct{ state uint64 }
+
+func newStream(seed uint64) *stream { return &stream{state: seed} }
+
+func (s *stream) next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// f64 returns a uniform float in [0, 1).
+func (s *stream) f64() float64 { return float64(s.next()>>11) / (1 << 53) }
+
+// intn returns a uniform int in [0, n).
+func (s *stream) intn(n int) int { return int(s.next() % uint64(n)) }
+
+// rangeF returns a uniform float in [lo, hi).
+func (s *stream) rangeF(lo, hi float64) float64 { return lo + (hi-lo)*s.f64() }
+
+// logUniform returns exp(uniform(log lo, log hi)) — the natural draw for
+// scale parameters spanning decades.
+func (s *stream) logUniform(lo, hi float64) float64 {
+	return math.Exp(s.rangeF(math.Log(lo), math.Log(hi)))
+}
+
+// pick returns a uniform element of xs.
+func (s *stream) pick(xs []float64) float64 { return xs[s.intn(len(xs))] }
+
+// Case is one corpus entry: a scenario plus the per-case simulation
+// seed. The ID is the scenario's content address (sweep.Scenario.Key),
+// so identical scenarios are recognizable across corpora and commute
+// with the sweep cache's Trial keys.
+type Case struct {
+	Index    int            `json:"index"`
+	ID       string         `json:"id"`
+	Seed     int64          `json:"seed"`
+	Scenario sweep.Scenario `json:"scenario"`
+	// TargetRho is the total utilization the generator aimed for;
+	// Overload marks the deliberately unstable band.
+	TargetRho float64 `json:"targetRho"`
+	Overload  bool    `json:"overload"`
+}
+
+// Generate produces the deterministic corpus for a seed. Case i depends
+// only on (seed, i) — Generate(seed, k) is a prefix of Generate(seed, n)
+// for k ≤ n, so the short CI slice exercises literally the first cases
+// of the full corpus.
+//
+// The parameter ranges span the model's operating envelope: machines of
+// 2–16 processors, 1–3 classes, partition sizes over the divisors of P,
+// service rates across two decades, squared coefficients of variation
+// from Erlang-like (0.5) to bursty (4), occasional bulk arrivals, quanta
+// from fractions of a service time to several, and overheads of 0.5–5%
+// of the quantum (the paper's §5 regime). ~15% of cases sit in a
+// deliberate overload band (total ρ ∈ [1.15, 1.6]) to exercise the
+// stability-boundary consistency check; the rest spread total ρ over
+// [0.08, 0.80].
+func Generate(seed int64, n int) []Case {
+	out := make([]Case, 0, n)
+	for i := 0; i < n; i++ {
+		// Decouple cases: each gets its own substream keyed by (seed, i).
+		r := newStream(uint64(seed)*0x9e3779b97f4a7c15 + uint64(i)*0xd1342543de82ef95 + 1)
+		sc, rho, over := genScenario(r)
+		out = append(out, Case{
+			Index:     i,
+			ID:        sc.Key(),
+			Seed:      int64(r.next() >> 1), // non-negative sim seed
+			Scenario:  sc,
+			TargetRho: rho,
+			Overload:  over,
+		})
+	}
+	return out
+}
+
+func genScenario(r *stream) (sweep.Scenario, float64, bool) {
+	procs := []int{2, 4, 8, 16}[r.intn(4)]
+	nclasses := 1 + r.intn(3)
+
+	overload := r.f64() < 0.15
+	var totalRho float64
+	if overload {
+		totalRho = r.rangeF(1.15, 1.6)
+	} else {
+		totalRho = r.rangeF(0.08, 0.80)
+	}
+
+	// Random positive weights split the total utilization across classes.
+	weights := make([]float64, nclasses)
+	var wsum float64
+	for p := range weights {
+		weights[p] = 0.25 + r.f64()
+		wsum += weights[p]
+	}
+
+	scvs := []float64{0, 0, 0.5, 2, 4} // 0 = exponential, twice-weighted
+	// Non-exponential distributions multiply the QBD phase space, and
+	// their cost compounds across the fixed point's ~50-80 iterations:
+	// a scenario with many of them takes minutes instead of seconds.
+	// Budget three per scenario — and, crucially, at most two phase
+	// multipliers per *class*, where a bulk batch claims a slot too. The
+	// per-class cap exists because the block dimension is a product over
+	// one class's components: early corpus drafts let a single class
+	// stack three non-exponential SCVs on top of a length-3 batch, and
+	// those dim-40+ blocks cost 15–40 CPU-minutes per case. Capping the
+	// product keeps every case seconds-scale; the draw order varies by
+	// case, so every (field, SCV) combination still appears across the
+	// corpus, just never all on the same class at once. Vetoed draws
+	// still consume the stream, so the cap leaves unaffected classes'
+	// parameters untouched.
+	nonExpBudget := 3
+	const classBudget = 2
+	perClass := 0
+	drawSCV := func() float64 {
+		v := r.pick(scvs)
+		if v != 0 {
+			if nonExpBudget == 0 || perClass >= classBudget {
+				return 0
+			}
+			nonExpBudget--
+			perClass++
+		}
+		return v
+	}
+
+	sc := sweep.Scenario{Processors: procs}
+	for p := 0; p < nclasses; p++ {
+		perClass = 0
+		g := pickDivisor(r, procs)
+		mu := r.pick([]float64{0.5, 1, 2, 4})
+		quantum := r.logUniform(0.5, 4)
+		overhead := quantum * r.logUniform(0.005, 0.05)
+
+		spec := sweep.ClassSpec{
+			Partition:    g,
+			Mu:           mu,
+			QuantumMean:  quantum,
+			OverheadMean: overhead,
+			ArrivalSCV:   drawSCV(),
+			ServiceSCV:   drawSCV(),
+			QuantumSCV:   drawSCV(),
+			OverheadSCV:  drawSCV(),
+		}
+
+		// ~10% of classes arrive in bulk. The epoch rate below divides by
+		// the mean batch size so the class utilization target still holds.
+		// Bulk claims one of the class's two phase-multiplier slots (the
+		// draw always happens, keeping the stream aligned either way).
+		meanBatch := 1.0
+		if bulk := r.f64() < 0.10; bulk && perClass < classBudget {
+			perClass++
+			k := 2 + r.intn(2) // max batch 2 or 3
+			probs := make([]float64, k)
+			var sum float64
+			for j := range probs {
+				probs[j] = 0.2 + r.f64()
+				sum += probs[j]
+			}
+			meanBatch = 0
+			for j := range probs {
+				probs[j] /= sum
+				meanBatch += float64(j+1) * probs[j]
+			}
+			spec.Batch = probs
+		}
+
+		// ρ_p = λ_p·g/(μ_p·P) with λ_p = epochRate·E[batch], so the epoch
+		// rate that hits the class's utilization target is:
+		rhoP := totalRho * weights[p] / wsum
+		spec.Lambda = rhoP * mu * float64(procs) / (float64(g) * meanBatch)
+		// The lightest corner (tiny ρ share, big partition, bulk arrivals)
+		// can dip under the checkable rate floor; clamp — the oracle gates
+		// against the model's actual ρ, not the generator's target.
+		if spec.Lambda < 2e-3 {
+			spec.Lambda = 2e-3
+		}
+
+		sc.Classes = append(sc.Classes, spec)
+	}
+	return sc, totalRho, overload
+}
+
+// pickDivisor returns a uniform divisor of p (a legal partition size).
+func pickDivisor(r *stream, p int) int {
+	var divs []int
+	for d := 1; d <= p; d++ {
+		if p%d == 0 {
+			divs = append(divs, d)
+		}
+	}
+	return divs[r.intn(len(divs))]
+}
+
+// Checkable bounds for scenarios the oracle will actually run. The
+// generator stays far inside them; the fuzzer drives arbitrary decoded
+// scenarios at them.
+const (
+	maxProcessors = 64
+	maxClasses    = 4
+	maxSCV        = 16
+	maxBatchLen   = 8
+	minMean       = 1e-3
+	maxMean       = 1e3
+	maxTotalRho   = 4
+)
+
+// CheckableScenario reports whether a scenario is inside the bounds the
+// differential oracle is prepared to run: small enough to simulate in
+// bounded time, numerically tame enough that neither engine is being
+// asked to work outside its supported envelope. Violations come back as
+// typed certify.ErrConfig failures — the same taxonomy the solver
+// pipeline uses — so a fuzzer can separate "rejected input" from
+// "engine bug" with errors.Is.
+func CheckableScenario(s sweep.Scenario) error {
+	reject := func(format string, args ...any) error {
+		return &certify.Failure{
+			Kind:  certify.ErrConfig,
+			Stage: "xcheck.scenario",
+			Err:   fmt.Errorf(format, args...),
+		}
+	}
+	if s.Processors < 1 || s.Processors > maxProcessors {
+		return reject("processors %d outside [1, %d]", s.Processors, maxProcessors)
+	}
+	if len(s.Classes) < 1 || len(s.Classes) > maxClasses {
+		return reject("%d classes outside [1, %d]", len(s.Classes), maxClasses)
+	}
+	var totalRho float64
+	for p, c := range s.Classes {
+		if c.Partition < 1 || c.Partition > s.Processors || s.Processors%c.Partition != 0 {
+			return reject("class %d partition %d does not divide P=%d", p, c.Partition, s.Processors)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"lambda", c.Lambda}, {"mu", c.Mu},
+			{"quantumMean", c.QuantumMean}, {"overheadMean", c.OverheadMean},
+		} {
+			// Rates and means must land in [1/maxMean, 1/minMean] resp.
+			// [minMean, maxMean]; both intervals are the same bound on the
+			// underlying mean, so one check covers rate-vs-mean semantics.
+			if !(v.val >= 1/maxMean && v.val <= 1/minMean) {
+				return reject("class %d %s %g outside [%g, %g]", p, v.name, v.val, 1/maxMean, 1/minMean)
+			}
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{
+			{"arrivalSCV", c.ArrivalSCV}, {"serviceSCV", c.ServiceSCV},
+			{"quantumSCV", c.QuantumSCV}, {"overheadSCV", c.OverheadSCV},
+		} {
+			if math.IsNaN(v.val) || v.val < 0 || v.val > maxSCV {
+				return reject("class %d %s %g outside [0, %d]", p, v.name, v.val, maxSCV)
+			}
+			// The two-moment fitter needs SCV ≥ 1/order; orders are capped,
+			// so very low non-exponential SCVs are out of envelope.
+			if v.val != 0 && v.val != 1 && v.val < 0.05 {
+				return reject("class %d %s %g below fit floor 0.05", p, v.name, v.val)
+			}
+		}
+		if len(c.Batch) > maxBatchLen {
+			return reject("class %d batch length %d > %d", p, len(c.Batch), maxBatchLen)
+		}
+		var mass float64
+		for k, q := range c.Batch {
+			if math.IsNaN(q) || q < 0 || q > 1 {
+				return reject("class %d batch[%d] = %g", p, k, q)
+			}
+			mass += q
+		}
+		if len(c.Batch) > 0 && math.Abs(mass-1) > 1e-9 {
+			return reject("class %d batch mass %g != 1", p, mass)
+		}
+		meanBatch := 1.0
+		if len(c.Batch) > 0 {
+			meanBatch = 0
+			for k, q := range c.Batch {
+				meanBatch += float64(k+1) * q
+			}
+		}
+		totalRho += c.Lambda * meanBatch * float64(c.Partition) / (c.Mu * float64(s.Processors))
+	}
+	if math.IsNaN(totalRho) || totalRho > maxTotalRho {
+		return reject("total utilization %g > %d", totalRho, maxTotalRho)
+	}
+	return nil
+}

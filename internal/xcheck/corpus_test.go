@@ -1,0 +1,115 @@
+package xcheck
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/certify"
+	"repro/internal/sweep"
+)
+
+// TestGenerateDeterministic: the corpus a seed denotes is a pure function
+// of (seed, n) — two generations are deeply equal.
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1996, 48)
+	b := Generate(1996, 48)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Generate(1996, 48) is not deterministic")
+	}
+	if reflect.DeepEqual(a, Generate(7, 48)) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+// TestGeneratePrefix: case i depends only on (seed, i), so the short CI
+// slice is literally a prefix of the full corpus.
+func TestGeneratePrefix(t *testing.T) {
+	short := Generate(1996, 12)
+	full := Generate(1996, 48)
+	if !reflect.DeepEqual(short, full[:12]) {
+		t.Fatal("Generate(seed, 12) is not a prefix of Generate(seed, 48)")
+	}
+}
+
+// TestGeneratedScenariosCheckable: the generator stays inside the
+// oracle's envelope, and the corpus has the diversity the gates rely on
+// (an overload band, multi-class cases, non-exponential distributions).
+func TestGeneratedScenariosCheckable(t *testing.T) {
+	cases := Generate(1996, 200)
+	var overload, multi, nonExp int
+	ids := map[string]bool{}
+	for _, c := range cases {
+		if err := CheckableScenario(c.Scenario); err != nil {
+			t.Fatalf("case %d (%s) outside the checkable envelope: %v", c.Index, c.ID, err)
+		}
+		if c.ID != c.Scenario.Key() {
+			t.Fatalf("case %d ID %s != scenario key %s", c.Index, c.ID, c.Scenario.Key())
+		}
+		ids[c.ID] = true
+		if c.Overload {
+			overload++
+		}
+		if len(c.Scenario.Classes) > 1 {
+			multi++
+		}
+		for _, cl := range c.Scenario.Classes {
+			if cl.ServiceSCV != 0 || cl.ArrivalSCV != 0 {
+				nonExp++
+				break
+			}
+		}
+	}
+	if overload < 10 || multi < 50 || nonExp < 50 {
+		t.Fatalf("corpus lacks diversity: overload=%d multi-class=%d non-exponential=%d", overload, multi, nonExp)
+	}
+	if len(ids) < 195 {
+		t.Fatalf("only %d distinct scenarios in 200 cases", len(ids))
+	}
+}
+
+// TestCheckableScenarioRejects: out-of-envelope scenarios come back as
+// typed certify.ErrConfig failures, never untyped errors.
+func TestCheckableScenarioRejects(t *testing.T) {
+	ok := sweep.Scenario{
+		Processors: 4,
+		Classes: []sweep.ClassSpec{
+			{Partition: 2, Lambda: 0.4, Mu: 1, QuantumMean: 1, OverheadMean: 0.01},
+		},
+	}
+	mutate := func(f func(*sweep.Scenario)) sweep.Scenario {
+		s := cloneScenario(ok)
+		f(&s)
+		return s
+	}
+	bad := map[string]sweep.Scenario{
+		"zero processors":     mutate(func(s *sweep.Scenario) { s.Processors = 0 }),
+		"too many procs":      mutate(func(s *sweep.Scenario) { s.Processors = 1 << 20 }),
+		"no classes":          mutate(func(s *sweep.Scenario) { s.Classes = nil }),
+		"partition no-divide": mutate(func(s *sweep.Scenario) { s.Classes[0].Partition = 3 }),
+		"negative lambda":     mutate(func(s *sweep.Scenario) { s.Classes[0].Lambda = -1 }),
+		"huge mu":             mutate(func(s *sweep.Scenario) { s.Classes[0].Mu = 1e9 }),
+		"nan scv":             mutate(func(s *sweep.Scenario) { s.Classes[0].ServiceSCV = nan() }),
+		"scv below fit floor": mutate(func(s *sweep.Scenario) { s.Classes[0].ServiceSCV = 0.01 }),
+		"batch mass":          mutate(func(s *sweep.Scenario) { s.Classes[0].Batch = []float64{0.5, 0.1} }),
+		"overload cap":        mutate(func(s *sweep.Scenario) { s.Classes[0].Lambda = 100; s.Classes[0].Mu = 1 }),
+	}
+	if err := CheckableScenario(ok); err != nil {
+		t.Fatalf("baseline scenario rejected: %v", err)
+	}
+	for name, s := range bad {
+		err := CheckableScenario(s)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !errors.Is(err, certify.ErrConfig) {
+			t.Errorf("%s: rejection not typed certify.ErrConfig: %v", name, err)
+		}
+	}
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

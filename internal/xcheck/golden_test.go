@@ -1,0 +1,77 @@
+package xcheck
+
+import (
+	"reflect"
+	"testing"
+)
+
+const goldenReport = "../../xcheck-report.json"
+
+// TestGoldenReportCorpus pins the committed corpus report to the
+// generator: the report must be fully green, and regenerating the corpus
+// from its recorded (seed, n) must reproduce every case's identity.
+// This is the cheap half of the determinism story — scenario content
+// addresses are SHA-256 of the canonical JSON, so any generator drift
+// (a reordered draw, a changed range) breaks it immediately.
+func TestGoldenReportCorpus(t *testing.T) {
+	rep, err := LoadReport(goldenReport)
+	if err != nil {
+		t.Fatalf("committed corpus report missing (regenerate with `make xcheck`): %v", err)
+	}
+	if rep.N < 200 {
+		t.Fatalf("committed corpus has %d cases, want >= 200", rep.N)
+	}
+	if rep.Agree != rep.N || rep.Disagree != 0 || rep.Errors != 0 {
+		t.Fatalf("committed corpus not green: agree=%d disagree=%d errors=%d of %d (broken: %v)",
+			rep.Agree, rep.Disagree, rep.Errors, rep.N, rep.FailedCheckNames())
+	}
+	if rep.MaxMargin >= 1 {
+		t.Fatalf("committed corpus MaxMargin %g >= 1 yet claims green", rep.MaxMargin)
+	}
+	if len(rep.Cases) != rep.N {
+		t.Fatalf("report has %d case lines for n=%d", len(rep.Cases), rep.N)
+	}
+	cases := Generate(rep.Seed, rep.N)
+	for i, c := range cases {
+		if rep.Cases[i].Index != i || rep.Cases[i].ID != c.ID {
+			t.Fatalf("case %d drifted: report has (%d, %s), generator gives (%d, %s)",
+				i, rep.Cases[i].Index, rep.Cases[i].ID, i, c.ID)
+		}
+	}
+}
+
+// TestGoldenReportCaseRecompute re-runs one corpus case end to end with
+// the report's recorded params and demands its compact line — statuses,
+// check counts, and the exact float margins — match the committed line
+// byte-for-byte semantics (encoding/json round-trips float64 exactly).
+// The case is chosen as the first all-exponential one so the recompute
+// stays cheap in tier-1.
+func TestGoldenReportCaseRecompute(t *testing.T) {
+	rep, err := LoadReport(goldenReport)
+	if err != nil {
+		t.Fatalf("committed corpus report missing (regenerate with `make xcheck`): %v", err)
+	}
+	cases := Generate(rep.Seed, rep.N)
+	pick := -1
+	for i, c := range cases {
+		cheap := len(c.Scenario.Classes) <= 2 && c.Scenario.Processors <= 8
+		for _, cl := range c.Scenario.Classes {
+			if cl.ArrivalSCV != 0 || cl.ServiceSCV != 0 || cl.QuantumSCV != 0 || cl.OverheadSCV != 0 {
+				cheap = false
+			}
+		}
+		if cheap {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		t.Fatal("no all-exponential case in the corpus prefix")
+	}
+	fresh := CheckCase(cases[pick], rep.Params)
+	line := fresh.Line(cases[pick])
+	if !reflect.DeepEqual(line, rep.Cases[pick]) {
+		t.Fatalf("case %d recompute drifted from the committed report:\n fresh:     %+v\n committed: %+v",
+			pick, line, rep.Cases[pick])
+	}
+}

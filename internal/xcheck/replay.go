@@ -1,0 +1,47 @@
+package xcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Triage is the on-disk artifact for a non-agreeing case: the full case
+// report plus everything a replay needs to reproduce the verdict
+// bit-for-bit (the scenario is inside the case report; the parameters
+// carry the gate policy and window sizing).
+type Triage struct {
+	Case   CaseReport `json:"case"`
+	Params Params     `json:"params"`
+	// Replay is the command line that reproduces this case.
+	Replay string `json:"replay"`
+}
+
+// LoadTriage reads a triage artifact written by WriteTriage.
+func LoadTriage(path string) (*Triage, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("xcheck: %w", err)
+	}
+	var t Triage
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("xcheck: parse triage %s: %w", path, err)
+	}
+	if len(t.Case.Scenario.Classes) == 0 {
+		return nil, fmt.Errorf("xcheck: triage %s has no scenario", path)
+	}
+	return &t, nil
+}
+
+// Rerun re-executes the triaged case under its recorded parameters and
+// returns the fresh verdict. Both engines are deterministic given
+// (scenario, seed, params), so a replay of an unmodified tree
+// reproduces the stored checks exactly; after a fix it flips to agree.
+func (t *Triage) Rerun() CaseReport {
+	return CheckCase(Case{
+		Index:    t.Case.Index,
+		ID:       t.Case.ID,
+		Seed:     t.Case.Seed,
+		Scenario: t.Case.Scenario,
+	}, t.Params)
+}

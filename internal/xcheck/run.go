@@ -1,0 +1,249 @@
+package xcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// CaseLine is the compact per-case record that goes into the corpus
+// report: enough to see what ran and how close to the tolerance edge it
+// came, small enough that a 200-case report stays reviewable and
+// committable. Full engine output is only materialized in triage
+// artifacts, and only for non-agreeing cases.
+type CaseLine struct {
+	Index  int    `json:"index"`
+	ID     string `json:"id"`
+	Status string `json:"status"`
+	// TargetRho/Overload echo the generator's intent for the case.
+	TargetRho float64 `json:"targetRho"`
+	Overload  bool    `json:"overload"`
+	// OK/Fail/Skip count the case's checks by verdict.
+	OK   int `json:"ok"`
+	Fail int `json:"fail"`
+	Skip int `json:"skip"`
+	// MaxMargin is the case's closest approach to a tolerance edge
+	// (deviation/allowance of the tightest check), with the check that
+	// produced it. The corpus-wide max measures gate headroom.
+	MaxMargin      float64 `json:"maxMargin"`
+	MaxMarginCheck string  `json:"maxMarginCheck,omitempty"`
+	// ErrKind is set for engine failures.
+	ErrKind string `json:"errKind,omitempty"`
+	// FailedChecks names the broken invariants for disagreements.
+	FailedChecks []string `json:"failedChecks,omitempty"`
+}
+
+// CheckStat aggregates one invariant's verdicts across the corpus.
+type CheckStat struct {
+	OK        int     `json:"ok"`
+	Fail      int     `json:"fail"`
+	Skip      int     `json:"skip"`
+	MaxMargin float64 `json:"maxMargin"`
+}
+
+// Report is the corpus run's committed artifact. It contains no
+// wall-clock or host fields: the same (seed, n, params) always marshal
+// to the same bytes.
+type Report struct {
+	Seed   int64  `json:"seed"`
+	N      int    `json:"n"`
+	Params Params `json:"params"`
+
+	Agree    int `json:"agree"`
+	Disagree int `json:"disagree"`
+	Errors   int `json:"errors"`
+
+	// MaxMargin/MaxMarginCase locate the corpus's tightest check.
+	MaxMargin     float64 `json:"maxMargin"`
+	MaxMarginCase string  `json:"maxMarginCase,omitempty"`
+
+	// CheckStats aggregates per invariant name (JSON maps marshal with
+	// sorted keys, so this is deterministic).
+	CheckStats map[string]*CheckStat `json:"checkStats"`
+
+	Cases []CaseLine `json:"cases"`
+}
+
+// Line converts a full case report to its compact form.
+func (cr *CaseReport) Line(c Case) CaseLine {
+	l := CaseLine{
+		Index: cr.Index, ID: cr.ID, Status: cr.Status,
+		TargetRho: c.TargetRho, Overload: c.Overload,
+		ErrKind: cr.ErrKind,
+	}
+	for _, ck := range cr.Checks {
+		switch ck.Status {
+		case StatusOK:
+			l.OK++
+		case StatusFail:
+			l.Fail++
+			l.FailedChecks = append(l.FailedChecks, checkName(ck))
+		case StatusSkip:
+			l.Skip++
+		}
+		if ck.Status != StatusSkip && ck.Margin > l.MaxMargin {
+			l.MaxMargin = ck.Margin
+			l.MaxMarginCheck = checkName(ck)
+		}
+	}
+	return l
+}
+
+func checkName(ck Check) string {
+	if ck.Class >= 0 {
+		return fmt.Sprintf("%s[%d]", ck.Name, ck.Class)
+	}
+	return ck.Name
+}
+
+// Run executes the corpus on nWorkers goroutines and assembles the
+// deterministic report plus the full per-case reports (index-aligned
+// with the input). Results do not depend on nWorkers: every case is
+// checked cold and independently. onCase, when non-nil, is called once
+// per completed case (serialized, completion order) for progress output.
+func Run(cases []Case, params Params, nWorkers int, onCase func(CaseReport)) (*Report, []CaseReport) {
+	params = params.withDefaults()
+	if nWorkers < 1 {
+		nWorkers = 1
+	}
+	full := make([]CaseReport, len(cases))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < nWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				full[i] = CheckCase(cases[i], params)
+				if onCase != nil {
+					mu.Lock()
+					onCase(full[i])
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := range cases {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		N:          len(cases),
+		Params:     params,
+		CheckStats: map[string]*CheckStat{},
+	}
+	for i := range full {
+		line := full[i].Line(cases[i])
+		rep.Cases = append(rep.Cases, line)
+		switch line.Status {
+		case CaseAgree:
+			rep.Agree++
+		case CaseDisagree:
+			rep.Disagree++
+		default:
+			rep.Errors++
+		}
+		for _, ck := range full[i].Checks {
+			st := rep.CheckStats[ck.Name]
+			if st == nil {
+				st = &CheckStat{}
+				rep.CheckStats[ck.Name] = st
+			}
+			switch ck.Status {
+			case StatusOK:
+				st.OK++
+			case StatusFail:
+				st.Fail++
+			case StatusSkip:
+				st.Skip++
+			}
+			if ck.Status != StatusSkip && ck.Margin > st.MaxMargin {
+				st.MaxMargin = ck.Margin
+			}
+		}
+		if line.MaxMargin > rep.MaxMargin {
+			rep.MaxMargin = line.MaxMargin
+			rep.MaxMarginCase = fmt.Sprintf("case %d (%s) %s", line.Index, shortID(line.ID), line.MaxMarginCheck)
+		}
+	}
+	return rep, full
+}
+
+func shortID(id string) string {
+	if len(id) > 12 {
+		return id[:12]
+	}
+	return id
+}
+
+// WriteReport writes the report as indented JSON with a trailing
+// newline — the canonical committed form.
+func WriteReport(path string, rep *Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("xcheck: marshal report: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("xcheck: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadReport reads a report written by WriteReport.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("xcheck: %w", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("xcheck: parse report %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// WriteTriage materializes a failing case as a replayable triage
+// artifact under dir: the scenario, both engines' summaries, every
+// check verdict, and the parameters needed to reproduce the run
+// bit-for-bit. Returns the artifact path.
+func WriteTriage(dir string, cr CaseReport, params Params) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("xcheck: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("case-%s.json", shortID(cr.ID)))
+	t := Triage{Case: cr, Params: params.withDefaults(), Replay: "gangcheck -replay " + path}
+	data, err := json.MarshalIndent(&t, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("xcheck: marshal triage: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// FailedCheckNames lists the distinct failing check names across the
+// corpus, sorted — the one-line summary of what kind of wrongness a red
+// run found.
+func (r *Report) FailedCheckNames() []string {
+	seen := map[string]bool{}
+	for _, l := range r.Cases {
+		for _, n := range l.FailedChecks {
+			seen[n] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
