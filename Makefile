@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet test race race-full ci chaos chaos-short fuzz-short xcheck xcheck-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-compare
+.PHONY: build vet test race race-full ci chaos chaos-short fuzz-short xcheck xcheck-short bench bench-sweep bench-kernel bench-pipeline bench-serve bench-scale bench-huge bench-compare
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,8 @@ ci: build vet race
 	$(GO) vet ./... && $(GO) test -race -count 1 ./internal/sweep/ ./internal/certify/ ./internal/core/ ./internal/serve/
 	GOMAXPROCS=4 $(GO) test -race -count 1 ./internal/core/
 	GOMAXPROCS=4 $(GO) test -race -count 1 -run 'TestCache' ./internal/sweep/
+	GOMAXPROCS=4 $(GO) test -race -count 1 \
+		-run 'TestBlockOp|TestAdoptOp|TestKronBlock|TestCSRBlock' ./internal/matrix/
 	$(MAKE) chaos-short
 	$(MAKE) xcheck-short
 
@@ -58,13 +60,17 @@ chaos-short:
 	GANG_CHAOS_SECONDS=4 GOMAXPROCS=4 $(GO) test -race -count 1 -run TestChaosSoak ./internal/serve/
 
 # fuzz-short is the soundness smoke: 30 seconds of random QBD generator
-# blocks must never produce a certified-but-invalid R, 30 seconds of
-# random request bodies must never crash the daemon's decoder or produce
-# an untyped rejection (every decode error must map to a 400), and 30
-# seconds of arbitrary cache.jsonl bytes must never break recovery-on-open
-# (no panic, no open error, and the repaired file must reopen pristine).
+# blocks must never produce a certified-but-invalid R (once through the
+# classical ladder, once with the Newton rung forced on — a failed
+# Newton attempt must fall through to the classical rungs, never leak
+# NaN), 30 seconds of random request bodies must never crash the
+# daemon's decoder or produce an untyped rejection (every decode error
+# must map to a 400), and 30 seconds of arbitrary cache.jsonl bytes must
+# never break recovery-on-open (no panic, no open error, and the
+# repaired file must reopen pristine).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzRMatrixCertify -fuzztime 30s ./internal/certify/
+	$(GO) test -run '^$$' -fuzz FuzzRMatrixNewton -fuzztime 30s ./internal/certify/
 	$(GO) test -run '^$$' -fuzz FuzzDecodeSolveRequest -fuzztime 30s ./internal/serve/
 	$(GO) test -run '^$$' -fuzz FuzzCacheRecovery -fuzztime 30s ./internal/sweep/
 	$(GO) test -run '^$$' -fuzz FuzzScenarioCorpus -fuzztime 30s ./internal/xcheck/
@@ -105,9 +111,10 @@ bench-sweep:
 
 # bench-kernel regenerates the committed matrix/QBD kernel baseline
 # (BENCH_kernel.json): the live R-matrix solve at three block orders, the
-# vendored pre-change kernel on the same inputs, the intervisit
+# same large-order solve with the Newton cyclic-reduction rung enabled,
+# the vendored pre-change kernel on the same inputs, the intervisit
 # convolution, and the full Theorem 4.3 fixed point.
-BENCH_KERNEL_RE = 'BenchmarkRMatrix$$|BenchmarkRMatrixPre$$|BenchmarkConvolveAll$$|BenchmarkSolveFixedPoint$$'
+BENCH_KERNEL_RE = 'BenchmarkRMatrix$$|BenchmarkRMatrixNewton$$|BenchmarkRMatrixPre$$|BenchmarkConvolveAll$$|BenchmarkSolveFixedPoint$$'
 bench-kernel:
 	$(GO) test -run '^$$' -bench $(BENCH_KERNEL_RE) -benchmem -benchtime 1s -count 1 \
 		./internal/qbd ./internal/phase ./internal/core | tee bench_kernel.out
@@ -162,6 +169,21 @@ bench-scale:
 	awk -f scripts/benchjson.awk bench_scale.out > BENCH_scale.json
 	rm -f bench_scale.out
 	cat BENCH_scale.json
+
+# bench-huge regenerates the committed production-scale tier
+# (BENCH_huge.json): repeating blocks of order ~1000–2000 built as
+# structured operators (Kronecker arrivals/completions over a dense
+# phase-churn A1), each solved twice — classical logarithmic reduction
+# vs the Newton cyclic-reduction rung. One iteration per variant: a
+# single h2048 solve runs for minutes, so statistical iteration would
+# turn the target into an hour-long soak for no extra signal.
+# benchjson.awk derives newton_vs_logreduction per tier.
+bench-huge:
+	$(GO) test -run '^$$' -bench 'BenchmarkRMatrixHuge' -benchtime 1x -timeout 40m -count 1 \
+		./internal/qbd | tee bench_huge.out
+	awk -f scripts/benchjson.awk bench_huge.out > BENCH_huge.json
+	rm -f bench_huge.out
+	cat BENCH_huge.json
 
 # bench-compare runs the kernel benchmarks fresh and diffs them against
 # the committed BENCH_kernel.json so regressions stand out line by line

@@ -20,9 +20,14 @@ type ClassChain struct {
 	layout levelLayout
 
 	// blocks, for single-arrival chains, are the level blocks the Proc
-	// matrices alias; Refill regenerates their entries in place. Nil for
+	// operators alias; Refill regenerates their entries in place. Nil for
 	// batched chains, which always rebuild.
 	blocks []classBlocks
+
+	// adoptMaxDensity is the CSR adoption threshold the chain was built
+	// with (SolveOptions.SparseMaxDensity); Refill re-adopts with the same
+	// threshold so a refilled chain is bit-for-bit a rebuilt one.
+	adoptMaxDensity float64
 }
 
 // Refill regenerates the chain's generator entries in place for a model
@@ -54,7 +59,7 @@ func (ch *ClassChain) Refill(m *Model, p int, intervisit *phase.Dist) (bool, err
 		}
 	}
 	fillClassBlocks(ch.space, ch.blocks)
-	if err := certifyClassProcess(ch.Proc); err != nil {
+	if err := certifyClassProcess(ch.Proc, ch.adoptMaxDensity); err != nil {
 		return true, err
 	}
 	return true, nil
@@ -70,21 +75,30 @@ type levelLayout struct {
 }
 
 // BuildClassChain constructs class p's QBD (reblocked if the class has
-// batch arrivals) for the given intervisit distribution.
+// batch arrivals) for the given intervisit distribution, adopting block
+// representations at the default CSR density threshold.
 func BuildClassChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, error) {
+	return buildClassChain(m, p, intervisit, 0)
+}
+
+// buildClassChain is BuildClassChain with an explicit CSR adoption
+// threshold (SolveOptions.SparseMaxDensity; non-positive means
+// matrix.DefaultAdoptMaxDensity).
+func buildClassChain(m *Model, p int, intervisit *phase.Dist, maxDensity float64) (*ClassChain, error) {
 	if m.Classes[p].MaxBatch() == 1 {
-		proc, sp, lv, err := buildClassProcess(m, p, intervisit)
+		proc, sp, lv, err := buildClassProcess(m, p, intervisit, maxDensity)
 		if err != nil {
 			return nil, err
 		}
 		return &ClassChain{
-			Proc:   proc,
-			space:  sp,
-			layout: levelLayout{width: 1, c: sp.servers, n: sp.dim(sp.servers)},
-			blocks: lv,
+			Proc:            proc,
+			space:           sp,
+			layout:          levelLayout{width: 1, c: sp.servers, n: sp.dim(sp.servers)},
+			blocks:          lv,
+			adoptMaxDensity: maxDensity,
 		}, nil
 	}
-	return buildBatchedChain(m, p, intervisit)
+	return buildBatchedChain(m, p, intervisit, maxDensity)
 }
 
 // buildBatchedChain assembles the reblocked process: one boundary
@@ -94,7 +108,7 @@ func BuildClassChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, erro
 // from [c, c+W), and the repeating triplet from the generic group
 // [c+W, c+2W) — exploiting that the dynamics of every physical level ≥ c
 // are identical.
-func buildBatchedChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, error) {
+func buildBatchedChain(m *Model, p int, intervisit *phase.Dist, maxDensity float64) (*ClassChain, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -206,13 +220,12 @@ func buildBatchedChain(m *Model, p int, intervisit *phase.Dist) (*ClassChain, er
 		Local: []*matrix.Dense{local0},
 		Up:    []*matrix.Dense{up0},
 		Down:  []*matrix.Dense{nil, down1},
-		A0:    a0, A1: a1, A2: a2,
+		A0:    matrix.Op(a0), A1: matrix.Op(a1), A2: matrix.Op(a2),
 	}
-	if err := proc.Validate(1e-8); err != nil {
-		return nil, fmt.Errorf("core: built batched process invalid: %w", err)
+	if err := certifyClassProcess(proc, maxDensity); err != nil {
+		return nil, fmt.Errorf("core: batched chain: %w", err)
 	}
-	proc.CertifySparse(0)
-	return &ClassChain{Proc: proc, space: sp, layout: ly}, nil
+	return &ClassChain{Proc: proc, space: sp, layout: ly, adoptMaxDensity: maxDensity}, nil
 }
 
 // MeanJobs returns the mean physical job count E[N_p] from the solved

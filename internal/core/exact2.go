@@ -44,7 +44,6 @@ type ExactTwoClassOptions struct {
 // and empty-class skipping are folded into the transition structure, as
 // in §3.1). The chain is solved sparsely by Gauss–Seidel.
 func SolveExactTwoClass(m *Model, opts ExactTwoClassOptions) (*ExactTwoClassResult, error) {
-	solveCalls.Add(1)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}

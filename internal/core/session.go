@@ -131,11 +131,10 @@ func (s *Session) override(opts SolveOptions) (SolveOptions, error) {
 // can read a session owned by another goroutine mid-solve.
 func (s *Session) Counters() Counters { return s.counters.Snapshot() }
 
-// resolve is the top of the staged pipeline: count the call, validate
-// the model, sync per-class session state, then run the fixed point.
+// resolve is the top of the staged pipeline: validate the model, sync
+// per-class session state, then run the fixed point.
 // heavy caps the iteration at the Theorem 4.1 initialization.
 func (s *Session) resolve(m *Model, opts SolveOptions, heavy bool) (*Result, error) {
-	solveCalls.Add(1)
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -158,7 +157,7 @@ func (s *Session) resolve(m *Model, opts SolveOptions, heavy bool) (*Result, err
 // chain via an in-place refill when the structural signature matches,
 // rebuild otherwise. A structural change invalidates the class's warm
 // iterate (its dimension or meaning changed with the state space).
-func (s *Session) stageBuildClass(m *Model, p int, f *phase.Dist, cnt *Counters) (*ClassChain, error) {
+func (s *Session) stageBuildClass(m *Model, p int, f *phase.Dist, opts SolveOptions, cnt *Counters) (*ClassChain, error) {
 	st := &s.classes[p]
 	sig := sigFor(m, p, f)
 	if st.chain != nil && st.sig == sig {
@@ -171,7 +170,7 @@ func (s *Session) stageBuildClass(m *Model, p int, f *phase.Dist, cnt *Counters)
 			return st.chain, nil
 		}
 	}
-	ch, err := BuildClassChain(m, p, f)
+	ch, err := buildClassChain(m, p, f, opts.SparseMaxDensity)
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +233,7 @@ func stageExtractQuantum(ch *ClassChain, sol *qbd.Solution, opts SolveOptions) (
 // solveClass chains stages 2–4 for one class and assembles its
 // ClassResult (stage 5's per-class part).
 func (s *Session) solveClass(m *Model, p int, f *phase.Dist, opts SolveOptions, cnt *Counters) (*ClassResult, error) {
-	ch, err := s.stageBuildClass(m, p, f, cnt)
+	ch, err := s.stageBuildClass(m, p, f, opts, cnt)
 	if err != nil {
 		return nil, err
 	}

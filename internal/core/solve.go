@@ -4,26 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync/atomic"
 
 	"repro/internal/certify"
 	"repro/internal/certify/faultinject"
 	"repro/internal/phase"
 	"repro/internal/qbd"
 )
-
-// solveCalls counts analytic solver invocations (Solve,
-// SolveHeavyTraffic, Session.Resolve, SolveExactTwoClass) since process
-// start.
-var solveCalls atomic.Int64
-
-// SolveCalls returns the number of analytic solver invocations so far in
-// this process. Monotone; safe for concurrent use.
-//
-// Deprecated: the process-global counter only answers "did any solver
-// work happen at all" (the warm-cache proof in cmd/gangsweep). Per-run
-// pipeline statistics live in Result.Counters and Session.Counters.
-func SolveCalls() int64 { return solveCalls.Load() }
 
 // ClassResult holds the per-class steady-state measures of §4.5.
 type ClassResult struct {

@@ -58,27 +58,35 @@ func mulKernel(dst, a, b *Dense) {
 	ar, ac, bc := a.rows, a.cols, b.cols
 	bd := b.data
 	for i := 0; i < ar; i++ {
-		ci := dst.data[i*bc : (i+1)*bc]
-		ai := a.data[i*ac : (i+1)*ac]
-		k := 0
-		for ; k+7 < ac; k += 8 {
-			a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
-			a4, a5, a6, a7 := ai[k+4], ai[k+5], ai[k+6], ai[k+7]
-			if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 &&
-				a4 != 0 && a5 != 0 && a6 != 0 && a7 != 0 {
-				pa := [8]float64{a0, a1, a2, a3, a4, a5, a6, a7}
-				axpyPanel8(ci, bd[k*bc:], bc, &pa)
-				continue
-			}
-			quadStep(ci, bd, bc, a0, a1, a2, a3, k)
-			quadStep(ci, bd, bc, a4, a5, a6, a7, k+4)
+		mulRow(dst.data[i*bc:(i+1)*bc], a.data[i*ac:(i+1)*ac], bd, bc)
+	}
+}
+
+// mulRow accumulates one destination row ci += ai·B, where B is bd with
+// leading dimension bc. It is the per-row body of mulKernel, shared with
+// the structured BlockOp implementations (a Kronecker operator that
+// materializes one A row at a time produces bitwise the result of a
+// dense multiply by running the same row kernel).
+func mulRow(ci, ai, bd []float64, bc int) {
+	ac := len(ai)
+	k := 0
+	for ; k+7 < ac; k += 8 {
+		a0, a1, a2, a3 := ai[k], ai[k+1], ai[k+2], ai[k+3]
+		a4, a5, a6, a7 := ai[k+4], ai[k+5], ai[k+6], ai[k+7]
+		if a0 != 0 && a1 != 0 && a2 != 0 && a3 != 0 &&
+			a4 != 0 && a5 != 0 && a6 != 0 && a7 != 0 {
+			pa := [8]float64{a0, a1, a2, a3, a4, a5, a6, a7}
+			axpyPanel8(ci, bd[k*bc:], bc, &pa)
+			continue
 		}
-		for ; k+3 < ac; k += 4 {
-			quadStep(ci, bd, bc, ai[k], ai[k+1], ai[k+2], ai[k+3], k)
-		}
-		for ; k < ac; k++ {
-			axpyRow(ci, ai[k], bd[k*bc:(k+1)*bc])
-		}
+		quadStep(ci, bd, bc, a0, a1, a2, a3, k)
+		quadStep(ci, bd, bc, a4, a5, a6, a7, k+4)
+	}
+	for ; k+3 < ac; k += 4 {
+		quadStep(ci, bd, bc, ai[k], ai[k+1], ai[k+2], ai[k+3], k)
+	}
+	for ; k < ac; k++ {
+		axpyRow(ci, ai[k], bd[k*bc:(k+1)*bc])
 	}
 }
 

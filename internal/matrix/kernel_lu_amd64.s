@@ -1,0 +1,309 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func elimRowSSE2(dst, src *float64, n int, m float64)
+//
+// dst[j] -= m·src[j], j = 0..n-1. Element-wise multiply-then-subtract,
+// no accumulator, so the SIMD width cannot change bits. Four elements
+// per iteration (two two-lane registers), then pair and scalar tails.
+TEXT ·elimRowSSE2(SB), NOSPLIT, $0-32
+	MOVSD m+24(FP), X0
+	UNPCKLPD X0, X0
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	SHLQ $3, DX
+	CMPQ BX, DX
+	JGE  elimpair
+
+elimquad:
+	MOVUPD (SI)(BX*1), X1
+	MOVUPD 16(SI)(BX*1), X2
+	MULPD X0, X1
+	MULPD X0, X2
+	MOVUPD (DI)(BX*1), X3
+	MOVUPD 16(DI)(BX*1), X4
+	SUBPD X1, X3
+	SUBPD X2, X4
+	MOVUPD X3, (DI)(BX*1)
+	MOVUPD X4, 16(DI)(BX*1)
+	ADDQ $32, BX
+	CMPQ BX, DX
+	JL   elimquad
+
+elimpair:
+	TESTQ $2, CX
+	JZ   elimscalar
+	MOVUPD (SI)(BX*1), X1
+	MULPD X0, X1
+	MOVUPD (DI)(BX*1), X3
+	SUBPD X1, X3
+	MOVUPD X3, (DI)(BX*1)
+	ADDQ $16, BX
+
+elimscalar:
+	TESTQ $1, CX
+	JZ   elimdone
+	MOVSD (SI)(BX*1), X1
+	MULSD X0, X1
+	MOVSD (DI)(BX*1), X3
+	SUBSD X1, X3
+	MOVSD X3, (DI)(BX*1)
+
+elimdone:
+	RET
+
+// func elimRowAVX2(dst, src *float64, n int, m float64)
+//
+// The 4-lane widening of elimRowSSE2: VMULPD then VSUBPD, never fused,
+// so bits match the SSE2 and Go paths. Eight elements per iteration,
+// then four-lane, two-lane and scalar tails. VZEROUPPER on exit.
+TEXT ·elimRowAVX2(SB), NOSPLIT, $0-32
+	VBROADCASTSD m+24(FP), Y0
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+	SHLQ $3, DX
+	CMPQ BX, DX
+	JGE  velimquad
+
+velimocta:
+	VMOVUPD (SI)(BX*1), Y1
+	VMOVUPD 32(SI)(BX*1), Y2
+	VMULPD Y0, Y1, Y1
+	VMULPD Y0, Y2, Y2
+	VMOVUPD (DI)(BX*1), Y3
+	VMOVUPD 32(DI)(BX*1), Y4
+	VSUBPD Y1, Y3, Y3
+	VSUBPD Y2, Y4, Y4
+	VMOVUPD Y3, (DI)(BX*1)
+	VMOVUPD Y4, 32(DI)(BX*1)
+	ADDQ $64, BX
+	CMPQ BX, DX
+	JL   velimocta
+
+velimquad:
+	TESTQ $4, CX
+	JZ   velimpair
+	VMOVUPD (SI)(BX*1), Y1
+	VMULPD Y0, Y1, Y1
+	VMOVUPD (DI)(BX*1), Y3
+	VSUBPD Y1, Y3, Y3
+	VMOVUPD Y3, (DI)(BX*1)
+	ADDQ $32, BX
+
+velimpair:
+	TESTQ $2, CX
+	JZ   velimscalar
+	VMOVUPD (SI)(BX*1), X1
+	VMULPD X0, X1, X1
+	VMOVUPD (DI)(BX*1), X3
+	VSUBPD X1, X3, X3
+	VMOVUPD X3, (DI)(BX*1)
+	ADDQ $16, BX
+
+velimscalar:
+	TESTQ $1, CX
+	JZ   velimdone
+	VMOVSD (SI)(BX*1), X1
+	VMULSD X0, X1, X1
+	VMOVSD (DI)(BX*1), X3
+	VSUBSD X1, X3, X3
+	VMOVSD X3, (DI)(BX*1)
+
+velimdone:
+	VZEROUPPER
+	RET
+
+// func fwdStep8SSE2(x, row *float64, cnt int)
+//
+// One forward-substitution row for eight interleaved columns:
+// acc[c] = Σ_t row[t]·x[t·8+c], then x[cnt·8+c] -= acc[c]. The eight
+// accumulator lanes live in X0..X3 (two lanes each); each lane chains
+// its adds in t order from +0 exactly like fwdStep8Go, so bits match.
+TEXT ·fwdStep8SSE2(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), DI
+	MOVQ row+8(FP), SI
+	MOVQ cnt+16(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	TESTQ CX, CX
+	JZ   fwdfinal
+
+fwdloop:
+	MOVSD (SI), X4
+	UNPCKLPD X4, X4
+	MOVUPD (DI), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPD 16(DI), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	MOVUPD 32(DI), X7
+	MULPD X4, X7
+	ADDPD X7, X2
+	MOVUPD 48(DI), X8
+	MULPD X4, X8
+	ADDPD X8, X3
+	ADDQ $8, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  fwdloop
+
+fwdfinal:
+	// DI now points at x[cnt·8], the row being eliminated.
+	MOVUPD (DI), X5
+	SUBPD X0, X5
+	MOVUPD X5, (DI)
+	MOVUPD 16(DI), X6
+	SUBPD X1, X6
+	MOVUPD X6, 16(DI)
+	MOVUPD 32(DI), X7
+	SUBPD X2, X7
+	MOVUPD X7, 32(DI)
+	MOVUPD 48(DI), X8
+	SUBPD X3, X8
+	MOVUPD X8, 48(DI)
+	RET
+
+// func fwdStep8AVX2(x, row *float64, cnt int)
+//
+// The 4-lane widening of fwdStep8SSE2: two YMM accumulators, VMULPD
+// then VADDPD per term, per-lane chains unchanged. VZEROUPPER on exit.
+TEXT ·fwdStep8AVX2(SB), NOSPLIT, $0-24
+	MOVQ x+0(FP), DI
+	MOVQ row+8(FP), SI
+	MOVQ cnt+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	TESTQ CX, CX
+	JZ   vfwdfinal
+
+vfwdloop:
+	VBROADCASTSD (SI), Y2
+	VMOVUPD (DI), Y3
+	VMULPD Y2, Y3, Y3
+	VADDPD Y3, Y0, Y0
+	VMOVUPD 32(DI), Y4
+	VMULPD Y2, Y4, Y4
+	VADDPD Y4, Y1, Y1
+	ADDQ $8, SI
+	ADDQ $64, DI
+	DECQ CX
+	JNZ  vfwdloop
+
+vfwdfinal:
+	VMOVUPD (DI), Y3
+	VSUBPD Y0, Y3, Y3
+	VMOVUPD Y3, (DI)
+	VMOVUPD 32(DI), Y4
+	VSUBPD Y1, Y4, Y4
+	VMOVUPD Y4, 32(DI)
+	VZEROUPPER
+	RET
+
+// func backStep8SSE2(x, row *float64, cnt int, d float64)
+//
+// One back-substitution row for eight interleaved columns:
+// acc[c] = Σ_t row[t]·x[(t+1)·8+c], then x[c] = (x[c] − acc[c]) / d.
+// Lane discipline as in fwdStep8SSE2; the divide is element-wise.
+TEXT ·backStep8SSE2(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), DI
+	MOVQ row+8(FP), SI
+	MOVQ cnt+16(FP), CX
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	MOVQ $64, BX
+	TESTQ CX, CX
+	JZ   backfinal
+
+backloop:
+	MOVSD (SI), X4
+	UNPCKLPD X4, X4
+	MOVUPD (DI)(BX*1), X5
+	MULPD X4, X5
+	ADDPD X5, X0
+	MOVUPD 16(DI)(BX*1), X6
+	MULPD X4, X6
+	ADDPD X6, X1
+	MOVUPD 32(DI)(BX*1), X7
+	MULPD X4, X7
+	ADDPD X7, X2
+	MOVUPD 48(DI)(BX*1), X8
+	MULPD X4, X8
+	ADDPD X8, X3
+	ADDQ $8, SI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  backloop
+
+backfinal:
+	MOVSD d+24(FP), X4
+	UNPCKLPD X4, X4
+	MOVUPD (DI), X5
+	SUBPD X0, X5
+	DIVPD X4, X5
+	MOVUPD X5, (DI)
+	MOVUPD 16(DI), X6
+	SUBPD X1, X6
+	DIVPD X4, X6
+	MOVUPD X6, 16(DI)
+	MOVUPD 32(DI), X7
+	SUBPD X2, X7
+	DIVPD X4, X7
+	MOVUPD X7, 32(DI)
+	MOVUPD 48(DI), X8
+	SUBPD X3, X8
+	DIVPD X4, X8
+	MOVUPD X8, 48(DI)
+	RET
+
+// func backStep8AVX2(x, row *float64, cnt int, d float64)
+//
+// The 4-lane widening of backStep8SSE2. VZEROUPPER on exit.
+TEXT ·backStep8AVX2(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), DI
+	MOVQ row+8(FP), SI
+	MOVQ cnt+16(FP), CX
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	MOVQ $64, BX
+	TESTQ CX, CX
+	JZ   vbackfinal
+
+vbackloop:
+	VBROADCASTSD (SI), Y2
+	VMOVUPD (DI)(BX*1), Y3
+	VMULPD Y2, Y3, Y3
+	VADDPD Y3, Y0, Y0
+	VMOVUPD 32(DI)(BX*1), Y4
+	VMULPD Y2, Y4, Y4
+	VADDPD Y4, Y1, Y1
+	ADDQ $8, SI
+	ADDQ $64, BX
+	DECQ CX
+	JNZ  vbackloop
+
+vbackfinal:
+	VBROADCASTSD d+24(FP), Y5
+	VMOVUPD (DI), Y3
+	VSUBPD Y0, Y3, Y3
+	VDIVPD Y5, Y3, Y3
+	VMOVUPD Y3, (DI)
+	VMOVUPD 32(DI), Y4
+	VSUBPD Y1, Y4, Y4
+	VDIVPD Y5, Y4, Y4
+	VMOVUPD Y4, 32(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package matrix
+
+// Off amd64 the LU kernels are the portable Go loops.
+
+func elimRow(dst, src []float64, m float64) {
+	elimRowGo(dst, src, m)
+}
+
+func fwdStep8(x []float64, row []float64) {
+	fwdStep8Go(x, row)
+}
+
+func backStep8(x []float64, row []float64, d float64) {
+	backStep8Go(x, row, d)
+}

@@ -126,6 +126,39 @@ func TestLUReuseBitwiseEqualFreshSolve(t *testing.T) {
 	}
 }
 
+// TestInverseToBitwiseEqualColumnSolves pins InverseTo's stated
+// contract directly: the interleaved 8-column (and 4-column, and
+// scalar-tail) substitution must reproduce the one-column SolveVecTo
+// loop bit for bit. Orders straddle every group boundary so the 8-wide
+// kernels, the 4-wide interleave and the scalar tail all run.
+func TestInverseToBitwiseEqualColumnSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 12, 13, 15, 16, 20, 24, 29} {
+		for trial := 0; trial < 4; trial++ {
+			a := randDense(rng, n, n, 1.0)
+			for i := 0; i < n; i++ { // diagonally dominate so Reset succeeds
+				a.Set(i, i, a.At(i, i)+float64(n)+1)
+			}
+			f, err := Factorize(a)
+			if err != nil {
+				t.Fatalf("n=%d: Factorize: %v", n, err)
+			}
+			want := New(n, n)
+			col := make([]float64, n)
+			x := make([]float64, n)
+			for j := 0; j < n; j++ {
+				col[j] = 1
+				f.SolveVecTo(x, col)
+				col[j] = 0
+				for i, v := range x {
+					want.Set(i, j, v)
+				}
+			}
+			bitwiseEqual(t, "InverseTo vs column solves", f.InverseTo(New(n, n)), want)
+		}
+	}
+}
+
 func TestCSRProductsBitwiseEqualDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
 	for trial := 0; trial < 60; trial++ {

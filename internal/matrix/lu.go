@@ -25,6 +25,7 @@ type LU struct {
 	sign    int
 	scratch []float64 // 2n: column buffer + solution buffer for InverseTo
 	quad    []float64 // 4n: interleaved 4-column buffer for InverseTo
+	oct     []float64 // 8n: interleaved 8-column buffer for InverseTo
 }
 
 // NewLU returns an order-n LU shell with no factorization; call Reset to
@@ -61,6 +62,7 @@ func (f *LU) Reset(a *Dense) error {
 		f.piv = make([]int, n)
 		f.scratch = nil
 		f.quad = nil
+		f.oct = nil
 	}
 	f.lu.CopyFrom(a)
 	f.sign = 1
@@ -95,9 +97,7 @@ func (f *LU) Reset(a *Dense) error {
 				continue
 			}
 			rowi := lu[i*n+k+1 : (i+1)*n][:len(rowk)]
-			for j := range rowi {
-				rowi[j] -= m * rowk[j]
-			}
+			elimRow(rowi, rowk, m)
 		}
 	}
 	return nil
@@ -176,24 +176,58 @@ func (f *LU) SolveTo(dst, b *Dense) *Dense {
 // InverseTo writes A⁻¹ into dst, solving against unit columns with the
 // same operation sequence as Inverse.
 //
-// Unit columns are solved four at a time with their substitution
-// recurrences interleaved: the four accumulator chains are independent, so
-// the CPU pipelines them instead of stalling on one serial chain, and each
-// row of the packed factors is read once per four columns. Per column the
+// Unit columns are solved eight at a time (then four, then one for the
+// tails) with their substitution recurrences interleaved: the
+// accumulator chains are independent, so the CPU pipelines them instead
+// of stalling on one serial chain — the eight-column groups run through
+// the SIMD substitution kernels, one column per vector lane — and each
+// row of the packed factors is read once per group. Per column the
 // rounded operations are exactly those of SolveVecTo on its unit vector
 // (the skipped leading terms are exact ±0 contributions to a +0
-// accumulator), so the result is bitwise identical to the one-column loop.
+// accumulator, and each lane chains its adds in the same order), so the
+// result is bitwise identical to the one-column loop at every group
+// width.
 func (f *LU) InverseTo(dst *Dense) *Dense {
 	n := f.lu.rows
 	if dst.rows != n || dst.cols != n {
 		panic(fmt.Sprintf("matrix: InverseTo into %dx%d, want %dx%d", dst.rows, dst.cols, n, n))
 	}
 	lu := f.lu.data
-	if len(f.quad) != 4*n {
+	j := 0
+	if n >= 8 {
+		if len(f.oct) != 8*n {
+			f.oct = make([]float64, 8*n)
+		}
+		xo := f.oct
+		for ; j+7 < n; j += 8 {
+			// Permuted unit vectors: column j+c is non-zero at the row i
+			// with piv[i] = j+c. Rows before the first non-zero stay
+			// exactly zero through forward substitution, so start there.
+			clear(xo)
+			start := n
+			for i, p := range f.piv {
+				if p >= j && p < j+8 {
+					xo[i*8+(p-j)] = 1
+					if i < start {
+						start = i
+					}
+				}
+			}
+			for i := start + 1; i < n; i++ {
+				fwdStep8(xo[start*8:], lu[i*n+start:i*n+i])
+			}
+			for i := n - 1; i >= 0; i-- {
+				backStep8(xo[i*8:], lu[i*n+i+1:(i+1)*n], lu[i*n+i])
+			}
+			for i := 0; i < n; i++ {
+				copy(dst.data[i*dst.cols+j:i*dst.cols+j+8], xo[i*8:i*8+8])
+			}
+		}
+	}
+	if j+3 < n && len(f.quad) != 4*n {
 		f.quad = make([]float64, 4*n)
 	}
 	xq := f.quad
-	j := 0
 	for ; j+3 < n; j += 4 {
 		// Permuted unit vectors: column j+c is non-zero at the row i with
 		// piv[i] = j+c. Rows before the first non-zero stay exactly zero

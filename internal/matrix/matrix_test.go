@@ -388,6 +388,49 @@ func TestSpectralRadiusUpperBound(t *testing.T) {
 	}
 }
 
+func TestSpectralRadiusUpperBoundWithin(t *testing.T) {
+	ws := NewWorkspace()
+	// With an unreachable limit the adaptive refinement must run the full
+	// squaring chain and reproduce the fixed-count bound exactly: the
+	// k == maxSquarings partial is the same expression the fixed loop
+	// finishes with.
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(6)
+		a := New(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, rng.Float64())
+			}
+		}
+		full := SpectralRadiusUpperBound(a, 40)
+		adaptive := SpectralRadiusUpperBoundWithinWS(a, 0, 40, ws)
+		if math.Float64bits(full) != math.Float64bits(adaptive) {
+			t.Fatalf("limit-0 adaptive bound %g != fixed bound %g", adaptive, full)
+		}
+		// Every early exit is still a rigorous upper bound.
+		est, _ := SpectralRadius(a, 1e-10, 50000)
+		if b := SpectralRadiusUpperBoundWithinWS(a, 1, 40, ws); b >= 1 && b < est-1e-6 {
+			t.Fatalf("adaptive bound %g below estimate %g", b, est)
+		}
+	}
+	// A comfortably stable matrix exits on the free k = 0 bound: ‖a‖∞.
+	d := Diag([]float64{0.3, 0.2, 0.25})
+	if b := SpectralRadiusUpperBoundWithinWS(d, 1, 40, ws); b != 0.3 {
+		t.Fatalf("early-exit bound = %g, want the ∞-norm 0.3", b)
+	}
+	// A stable matrix whose ∞-norm overshoots the limit refines until the
+	// bound drops below it, and the result still dominates sp(a) = 0.9.
+	c := NewFromRows([][]float64{{0, 1.8}, {0.45, 0}})
+	b := SpectralRadiusUpperBoundWithinWS(c, 1, 40, ws)
+	if b >= 1 || b < 0.9 {
+		t.Fatalf("refined bound = %g, want in [0.9, 1)", b)
+	}
+	if b := SpectralRadiusUpperBoundWithinWS(New(0, 0), 1, 10, ws); b != 0 {
+		t.Fatalf("empty bound = %g", b)
+	}
+}
+
 func TestEqualApproxShapeMismatch(t *testing.T) {
 	if EqualApprox(New(2, 2), New(3, 3), 1) {
 		t.Fatal("different shapes should not be equal")

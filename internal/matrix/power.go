@@ -100,3 +100,47 @@ func SpectralRadiusUpperBoundWS(a *Dense, squarings int, ws *Workspace) float64 
 	ws.Put(m, sq)
 	return math.Exp(logBound)
 }
+
+// SpectralRadiusUpperBoundWithinWS refines the Gelfand bound only far
+// enough to witness sp(a) < limit. Every partial bound in the squaring
+// chain is itself rigorous — ‖a^{2^k}‖_∞^{1/2^k} ≥ sp(a) for any k —
+// so the function returns the first partial below limit (for a
+// comfortably stable matrix that is the free k = 0 bound, ‖a‖∞) and
+// only keeps squaring while the bound still sits at or above limit, up
+// to maxSquarings steps. The return value is always a valid upper
+// bound on sp(a); it is just no tighter than the caller asked for, so
+// it must not be recorded where a tight bound is expected (the
+// certified Solve path keeps the fixed-40-squaring bound for that
+// reason — this variant exists for acceptance gates that only need the
+// < limit verdict, like the Newton rung on the raw RMatrix entry
+// points).
+func SpectralRadiusUpperBoundWithinWS(a *Dense, limit float64, maxSquarings int, ws *Workspace) float64 {
+	if a.rows != a.cols {
+		panic("matrix: SpectralRadiusUpperBoundWithin of non-square matrix")
+	}
+	if a.rows == 0 {
+		return 0
+	}
+	n := a.rows
+	m := ws.Get(n, n).CopyFrom(a)
+	sq := ws.Get(n, n)
+	logBound := 0.0
+	weight := 1.0
+	for k := 0; ; k++ {
+		norm := m.InfNorm()
+		if norm == 0 {
+			ws.Put(m, sq)
+			return 0
+		}
+		partial := math.Exp(logBound + weight*math.Log(norm))
+		if partial < limit || k == maxSquarings {
+			ws.Put(m, sq)
+			return partial
+		}
+		logBound += weight * math.Log(norm)
+		weight /= 2
+		ScaledTo(m, 1/norm, m)
+		MulTo(sq, m, m)
+		m, sq = sq, m
+	}
+}

@@ -23,9 +23,9 @@ func mm1(lambda, mu float64) *Process {
 		Local: []*matrix.Dense{one(-lambda)},
 		Up:    []*matrix.Dense{one(lambda)},
 		Down:  []*matrix.Dense{nil, one(mu)},
-		A0:    one(lambda),
-		A1:    one(-(lambda + mu)),
-		A2:    one(mu),
+		A0:    matrix.Op(one(lambda)),
+		A1:    matrix.Op(one(-(lambda + mu))),
+		A2:    matrix.Op(one(mu)),
 	}
 }
 
@@ -37,9 +37,9 @@ func mmc(lambda, mu float64, c int) *Process {
 		return m
 	}
 	p := &Process{
-		A0: one(lambda),
-		A1: one(-(lambda + float64(c)*mu)),
-		A2: one(float64(c) * mu),
+		A0: matrix.Op(one(lambda)),
+		A1: matrix.Op(one(-(lambda + float64(c)*mu))),
+		A2: matrix.Op(one(float64(c) * mu)),
 	}
 	p.Down = append(p.Down, nil)
 	for i := 0; i < c; i++ {
@@ -70,7 +70,7 @@ func mErlang2_1(lambda, mu float64) *Process {
 		Local: []*matrix.Dense{local0},
 		Up:    []*matrix.Dense{up0},
 		Down:  []*matrix.Dense{nil, down1},
-		A0:    a0, A1: a1, A2: a2,
+		A0:    matrix.Op(a0), A1: matrix.Op(a1), A2: matrix.Op(a2),
 	}
 }
 
@@ -82,7 +82,7 @@ func TestValidateMM1(t *testing.T) {
 
 func TestValidateCatchesBadRowSums(t *testing.T) {
 	p := mm1(1, 2)
-	p.A0.Set(0, 0, 99)
+	p.A0.Dense().Set(0, 0, 99)
 	if err := p.Validate(1e-12); err == nil {
 		t.Fatal("expected row-sum validation error")
 	}
@@ -102,14 +102,14 @@ func TestValidateCatchesShapeErrors(t *testing.T) {
 
 func TestRMatrixMM1(t *testing.T) {
 	p := mm1(1, 2)
-	r, err := RMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+	r, err := RMatrixOp(p.A0, p.A1, p.A2, RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !almostEq(r.At(0, 0), 0.5, 1e-10) {
 		t.Fatalf("R = %g, want rho = 0.5", r.At(0, 0))
 	}
-	if res := ResidualR(r, p.A0, p.A1, p.A2); res > 1e-9 {
+	if res := ResidualR(r, p.A0.Dense(), p.A1.Dense(), p.A2.Dense()); res > 1e-9 {
 		t.Fatalf("residual = %g", res)
 	}
 }
@@ -117,14 +117,15 @@ func TestRMatrixMM1(t *testing.T) {
 func TestRMatrixSuccessiveSubstitutionAgrees(t *testing.T) {
 	p := mErlang2_1(0.7, 1)
 	ws := matrix.NewWorkspace()
-	n := p.A1.Rows()
+	n := p.RepeatDim()
 	id := ws.Get(n, n).SetIdentity()
-	d0, d1, d2, _, _ := uniformizeBlocks(ws, p.A0, p.A1, p.A2, nil, nil, uniformizeMargin)
-	rLR, _, err := logarithmicReductionR(id, d0, d1, d2, nil, nil, ws, RMatrixOptions{}.withDefaults())
+	b0, d1, b2, release := uniformizeOps(ws, p.A0, p.A1, p.A2, uniformizeMargin)
+	defer release()
+	rLR, _, err := logarithmicReductionR(id, b0, d1, b2, ws, RMatrixOptions{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
-	rSS, _, err := successiveSubstitution(id, d0, d1, d2, nil, ws, RMatrixOptions{}.withDefaults())
+	rSS, _, err := successiveSubstitution(id, b0, d1, b2, ws, RMatrixOptions{}.withDefaults())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestPropertyRNonNegative(t *testing.T) {
 		if err != nil || !stable {
 			return true // skip unstable draws
 		}
-		r, err := RMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+		r, err := RMatrixOp(p.A0, p.A1, p.A2, RMatrixOptions{})
 		if err != nil {
 			return false
 		}
@@ -379,7 +380,7 @@ func TestPropertyRNonNegative(t *testing.T) {
 				}
 			}
 		}
-		return ResidualR(r, p.A0, p.A1, p.A2) < 1e-8
+		return ResidualR(r, p.A0.Dense(), p.A1.Dense(), p.A2.Dense()) < 1e-8
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
@@ -390,17 +391,17 @@ func TestGMatrixMM1(t *testing.T) {
 	// Stable M/M/1: first passage down is certain, G = [1]; the busy
 	// period mean is 1/(μ−λ).
 	p := mm1(1, 2)
-	g, err := GMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+	g, err := GMatrix(p.A0.Dense(), p.A1.Dense(), p.A2.Dense(), RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !almostEq(g.At(0, 0), 1, 1e-10) {
 		t.Fatalf("G = %g, want 1", g.At(0, 0))
 	}
-	if res := ResidualG(g, p.A0, p.A1, p.A2); res > 1e-9 {
+	if res := ResidualG(g, p.A0.Dense(), p.A1.Dense(), p.A2.Dense()); res > 1e-9 {
 		t.Fatalf("G residual %g", res)
 	}
-	m, err := MeanFirstPassageDown(p.A0, p.A1, p.A2, RMatrixOptions{})
+	m, err := MeanFirstPassageDown(p.A0.Dense(), p.A1.Dense(), p.A2.Dense(), RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestGMatrixMM1(t *testing.T) {
 func TestGMatrixStochasticWhenStable(t *testing.T) {
 	// For a positive-recurrent QBD, G is stochastic (down-passage certain).
 	p := mErlang2_1(0.7, 1)
-	g, err := GMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+	g, err := GMatrix(p.A0.Dense(), p.A1.Dense(), p.A2.Dense(), RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +422,7 @@ func TestGMatrixStochasticWhenStable(t *testing.T) {
 			t.Fatalf("G row %d sums to %g", i, s)
 		}
 	}
-	if res := ResidualG(g, p.A0, p.A1, p.A2); res > 1e-8 {
+	if res := ResidualG(g, p.A0.Dense(), p.A1.Dense(), p.A2.Dense()); res > 1e-8 {
 		t.Fatalf("G residual %g", res)
 	}
 }
@@ -429,7 +430,7 @@ func TestGMatrixStochasticWhenStable(t *testing.T) {
 func TestGMatrixSubstochasticWhenUnstable(t *testing.T) {
 	// Transient downward passage: G row sums < 1.
 	p := mm1(3, 2)
-	g, err := GMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+	g, err := GMatrix(p.A0.Dense(), p.A1.Dense(), p.A2.Dense(), RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestMeanFirstPassageMErlang(t *testing.T) {
 	// M/E₂/1 busy period mean is E[S]/(1−ρ) regardless of service shape
 	// (started by one job): 1/(1·(1−0.7)) = 10/3.
 	p := mErlang2_1(0.7, 1)
-	m, err := MeanFirstPassageDown(p.A0, p.A1, p.A2, RMatrixOptions{})
+	m, err := MeanFirstPassageDown(p.A0.Dense(), p.A1.Dense(), p.A2.Dense(), RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -499,7 +500,7 @@ func TestWeightedMeanConstantWeightIsMass(t *testing.T) {
 
 func TestSolveValidatesProcess(t *testing.T) {
 	p := mm1(1, 2)
-	p.A0.Set(0, 0, 42) // break row sums
+	p.A0.Dense().Set(0, 0, 42) // break row sums
 	if _, err := Solve(p, RMatrixOptions{}); err == nil {
 		t.Fatal("expected validation error from Solve")
 	}
@@ -515,7 +516,7 @@ func TestDriftReduciblePhaseProcess(t *testing.T) {
 		Local: []*matrix.Dense{matrix.NewFromRows([][]float64{{-0.5, 0}, {0, -0.5}})},
 		Up:    []*matrix.Dense{a0},
 		Down:  []*matrix.Dense{nil, a2},
-		A0:    a0, A1: a1, A2: a2,
+		A0:    matrix.Op(a0), A1: matrix.Op(a1), A2: matrix.Op(a2),
 	}
 	_ = z
 	if _, _, err := p.Drift(); err == nil {
@@ -551,7 +552,7 @@ func TestWeightedMeanPanicsOnShape(t *testing.T) {
 
 func TestMeanFirstPassageUnstableErrors(t *testing.T) {
 	p := mm1(3, 2) // unstable: passage down not certain
-	if _, err := MeanFirstPassageDown(p.A0, p.A1, p.A2, RMatrixOptions{}); err == nil {
+	if _, err := MeanFirstPassageDown(p.A0.Dense(), p.A1.Dense(), p.A2.Dense(), RMatrixOptions{}); err == nil {
 		t.Fatal("expected divergence error for an unstable queue")
 	}
 }

@@ -18,10 +18,11 @@ var ErrUnstable = errors.New("qbd: process is not positive recurrent")
 
 // RMatrixOptions tune the R-matrix computation.
 //
-// Workspace and the sparse blocks are pure fast-path options: every solver
-// below runs the exact same sequence of rounded floating-point operations
-// with or without them, so enabling reuse or sparsity never changes a
-// result bit.
+// Workspace is a pure fast-path option: every solver below runs the exact
+// same sequence of rounded floating-point operations with or without it,
+// so enabling reuse never changes a result bit. (Block representation is
+// likewise never a semantics knob: the matrix.BlockOp implementations are
+// pinned bitwise against the dense reference.)
 type RMatrixOptions struct {
 	Tol     float64 // sup-norm stopping tolerance (default 1e-12)
 	MaxIter int     // iteration budget (default 10000)
@@ -32,10 +33,24 @@ type RMatrixOptions struct {
 	// internal/core reuses one workspace for its whole run).
 	Workspace *matrix.Workspace
 
-	// SparseA0/SparseA2 are optional CSR forms of the a0/a2 arguments
-	// (typically Process.SparseA0/SparseA2 from CertifySparse). When set,
-	// products against those blocks go through the CSR kernels.
-	SparseA0, SparseA2 *matrix.Sparse
+	// Newton enables the certified Newton rung: cyclic reduction on the
+	// uniformized quadratic, quadratically convergent where the classical
+	// reductions are linear, with a certificate-gated early stop (the
+	// increment norm decays quadratically, so stopping at √Tol leaves a
+	// truncation error ≈ Tol that post-hoc certification then judges).
+	// Off by default so the small-tier ladder order — and the cold sweep
+	// artifacts pinned byte-identical across releases — never changes
+	// unless a caller opts in. A Newton result always carries a
+	// Certificate, even on the raw RMatrix/RMatrixOp entry points; a
+	// rejected Newton attempt is recorded in the certificate path and the
+	// ladder falls through to the unchanged cold rungs.
+	Newton bool
+
+	// NewtonMinOrder gates the Newton rung to block orders at or above
+	// this bound (default 96). Below it the logarithmic-reduction rung's
+	// fixed ~8-multiply iterations beat Newton's LU-per-step, so the
+	// rung would only add certification overhead.
+	NewtonMinOrder int
 
 	// CertTol overrides the certification tolerances Solve judges its
 	// result against; nil means certify.DefaultTolerances().
@@ -72,6 +87,9 @@ func (o RMatrixOptions) withDefaults() RMatrixOptions {
 	}
 	if o.MaxIter == 0 {
 		o.MaxIter = 10000
+	}
+	if o.NewtonMinOrder == 0 {
+		o.NewtonMinOrder = 96
 	}
 	return o
 }
@@ -132,6 +150,7 @@ const (
 // identical to the historical path.
 const (
 	rungWarm         = "warm"
+	rungNewton       = "newton"
 	rungLogReduction = "logreduction"
 	rungSubstitution = "substitution"
 	rungTightened    = "tightened"
@@ -159,6 +178,14 @@ func WarmAccepted(path []string) bool {
 // rung's failure (errors.Join) under certify.ErrNotConverged, so the
 // caller sees why every attempt died, not just the last.
 func RMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, error) {
+	return RMatrixOp(matrix.Op(a0), matrix.Op(a1), matrix.Op(a2), opts)
+}
+
+// RMatrixOp is RMatrix against operator-represented blocks: callers with
+// structured generators (CSR via matrix.AdoptOp, Kronecker sums via
+// matrix.NewKron) avoid ever materializing dense blocks on the hot path.
+// Representation never changes the result bitwise.
+func RMatrixOp(a0, a1, a2 matrix.BlockOp, opts RMatrixOptions) (*matrix.Dense, error) {
 	r, _, err := rMatrixLadder(a0, a1, a2, opts.withDefaults(), nil)
 	return r, err
 }
@@ -173,8 +200,8 @@ func RMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, erro
 // regularized solve (functional G iteration on a re-uniformized chain
 // with a diagonally regularized final system). The returned certificate
 // records the full path and total iteration count.
-func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certify.Tolerances) (*matrix.Dense, *certify.Certificate, error) {
-	n := a1.Rows()
+func rMatrixLadder(a0, a1, a2 matrix.BlockOp, opts RMatrixOptions, certTol *certify.Tolerances) (*matrix.Dense, *certify.Certificate, error) {
+	n, _ := a1.Dims()
 	if n == 0 {
 		c := &certify.Certificate{Finite: true}
 		if certTol != nil {
@@ -184,7 +211,7 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 	}
 	ws := opts.workspace()
 	id := ws.Get(n, n).SetIdentity()
-	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, uniformizeMargin)
+	b0, d1, b2, release := uniformizeOps(ws, a0, a1, a2, uniformizeMargin)
 
 	var (
 		path     []string
@@ -192,12 +219,17 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 		iters    int
 		canceled bool
 	)
-	// try runs one rung; it returns the accepted R and its certificate,
-	// or records the failure and returns nils so the ladder descends. A
-	// rung interrupted by the caller's deadline sets canceled: the ladder
-	// aborts instead of descending — every further rung would restart
-	// work the caller has already given up on.
-	try := func(name string, run func() (*matrix.Dense, int, error)) (*matrix.Dense, *certify.Certificate) {
+	// tryWith runs one rung judged at tol; it returns the accepted R and
+	// its certificate, or records the failure and returns nils so the
+	// ladder descends. A rung interrupted by the caller's deadline sets
+	// canceled: the ladder aborts instead of descending — every further
+	// rung would restart work the caller has already given up on.
+	// quickSpectral selects the adaptive Gelfand bound that stops as soon
+	// as sp(R) < 1 is witnessed — still rigorous, but loose; it is only
+	// ever set on the raw entry points, where the certificate is an
+	// internal acceptance gate and its SpectralRadius value is never
+	// surfaced to a caller.
+	tryWith := func(name string, tol *certify.Tolerances, quickSpectral bool, run func() (*matrix.Dense, int, error)) (*matrix.Dense, *certify.Certificate) {
 		r, it, err := run()
 		iters += it
 		if err != nil {
@@ -209,7 +241,7 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 			rungs = append(rungs, fmt.Errorf("%s: %w", name, err))
 			return nil, nil
 		}
-		if certTol == nil {
+		if tol == nil {
 			path = append(path, name+": ok")
 			return r, nil
 		}
@@ -220,7 +252,7 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 			rungs = append(rungs, fmt.Errorf("%s: %w", name, ferr))
 			return nil, nil
 		}
-		c := certifyRWS(r, a0, a1, a2, *certTol, ws)
+		c := certifyRWSBound(r, a0, a1, a2, *tol, ws, quickSpectral)
 		if verr := c.VerifyR(); verr != nil {
 			path = append(path, name+": uncertified")
 			rungs = append(rungs, fmt.Errorf("%s: %w", name, verr))
@@ -228,6 +260,9 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 		}
 		path = append(path, name+": ok")
 		return r, c
+	}
+	try := func(name string, run func() (*matrix.Dense, int, error)) (*matrix.Dense, *certify.Certificate) {
+		return tryWith(name, certTol, false, run)
 	}
 
 	var (
@@ -237,7 +272,7 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 	if certTol != nil && opts.InitialR != nil &&
 		opts.InitialR.Rows() == n && opts.InitialR.Cols() == n {
 		r, cert = try(rungWarm, func() (*matrix.Dense, int, error) {
-			return warmIterationR(id, d0, d1, d2, sd0, sd2, opts.InitialR, ws, opts)
+			return warmIterationR(id, b0, d1, b2, opts.InitialR, ws, opts)
 		})
 		if r != nil && cert.SpectralRadius >= 1 {
 			// A warm iterate can converge to a non-minimal solution of the
@@ -249,14 +284,34 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 			r, cert = nil, nil
 		}
 	}
+	if r == nil && !canceled && opts.Newton && n >= opts.NewtonMinOrder {
+		// Newton rung: always certified, even on the raw entry points
+		// where the rest of the ladder runs uncertified — an early-stopped
+		// quadratic iteration's truncation error must be judged, never
+		// assumed. A rejection is recorded in the path and the unchanged
+		// cold ladder decides.
+		ntol := certTol
+		if ntol == nil {
+			dt := certify.DefaultTolerances()
+			ntol = &dt
+		}
+		// On the raw entry points (certTol == nil) the certificate is an
+		// internal gate whose SpectralRadius is never returned, so the
+		// stability check uses the adaptive Gelfand bound — for a
+		// comfortably stable R that is one ∞-norm instead of 40 dense
+		// squarings, which would otherwise cost as much as the rung itself.
+		r, cert = tryWith(rungNewton, ntol, certTol == nil, func() (*matrix.Dense, int, error) {
+			return newtonCyclicReductionR(id, b0, d1, b2, ws, opts)
+		})
+	}
 	if r == nil && !canceled {
 		r, cert = try(rungLogReduction, func() (*matrix.Dense, int, error) {
-			return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, opts)
+			return logarithmicReductionR(id, b0, d1, b2, ws, opts)
 		})
 	}
 	if r == nil && !canceled {
 		r, cert = try(rungSubstitution, func() (*matrix.Dense, int, error) {
-			return successiveSubstitution(id, d0, d1, d2, sd2, ws, opts)
+			return successiveSubstitution(id, b0, d1, b2, ws, opts)
 		})
 	}
 	if r == nil && !canceled && certTol != nil {
@@ -268,11 +323,11 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 		tight.Tol = opts.Tol * 1e-2
 		tight.MaxIter = opts.MaxIter * 10
 		r, cert = try(rungTightened+"-"+rungLogReduction, func() (*matrix.Dense, int, error) {
-			return logarithmicReductionR(id, d0, d1, d2, sd0, sd2, ws, tight)
+			return logarithmicReductionR(id, b0, d1, b2, ws, tight)
 		})
 		if r == nil && !canceled {
 			r, cert = try(rungTightened+"-"+rungSubstitution, func() (*matrix.Dense, int, error) {
-				return successiveSubstitution(id, d0, d1, d2, sd2, ws, tight)
+				return successiveSubstitution(id, b0, d1, b2, ws, tight)
 			})
 		}
 		if r == nil && !canceled {
@@ -282,20 +337,21 @@ func rMatrixLadder(a0, a1, a2 *matrix.Dense, opts RMatrixOptions, certTol *certi
 			// quadratic methods degenerate — and convert to R through a
 			// diagonally regularized final system.
 			r, cert = try(rungShifted, func() (*matrix.Dense, int, error) {
-				e0, e1, e2, se0, _ := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, shiftedMargin)
-				defer ws.Put(e0, e1, e2)
+				e0, e1, e2, release2 := uniformizeOps(ws, a0, a1, a2, shiftedMargin)
+				defer release2()
 				sopts := opts
 				sopts.MaxIter = opts.MaxIter * 10
-				g, it, err := functionalIterationG(e0, e1, e2, se0, ws, sopts)
+				g, it, err := functionalIterationG(e0, e1, e2, ws, sopts)
 				if err != nil {
 					return nil, it, err
 				}
-				rr, err := rFromG(id, e0, se0, e1, g, ws, true)
+				rr, err := rFromG(id, e0, e1, g, ws, true)
 				return rr, it, err
 			})
 		}
 	}
-	ws.Put(id, d0, d1, d2)
+	ws.Put(id)
+	release()
 	if r == nil {
 		return nil, nil, ladderFailure(iters, rungs)
 	}
@@ -342,7 +398,17 @@ func classifyRungErr(err error) error {
 // fixed-point residual ‖A₀ + R·A₁ + R²·A₂‖∞ / (‖A₀‖∞+‖A₁‖∞+‖A₂‖∞), and
 // the Gelfand bound on sp(R). All scratch comes from ws; the arithmetic
 // matches ResidualR term for term.
-func certifyRWS(r, a0, a1, a2 *matrix.Dense, tol certify.Tolerances, ws *matrix.Workspace) *certify.Certificate {
+func certifyRWS(r *matrix.Dense, a0, a1, a2 matrix.BlockOp, tol certify.Tolerances, ws *matrix.Workspace) *certify.Certificate {
+	return certifyRWSBound(r, a0, a1, a2, tol, ws, false)
+}
+
+// certifyRWSBound is certifyRWS with a choice of spectral bound. With
+// quickSpectral the SpectralRadius field is the adaptive Gelfand bound —
+// refined only far enough to witness sp(R) < 1, usually the free ‖R‖∞ —
+// instead of the tight fixed-40-squaring value. Both are rigorous upper
+// bounds, so VerifyR's stability verdict is sound either way; the quick
+// variant is reserved for certificates that never leave the ladder.
+func certifyRWSBound(r *matrix.Dense, a0, a1, a2 matrix.BlockOp, tol certify.Tolerances, ws *matrix.Workspace, quickSpectral bool) *certify.Certificate {
 	c := &certify.Certificate{Tol: tol, Finite: r.Finite()}
 	if !c.Finite {
 		c.Residual = math.Inf(1)
@@ -354,14 +420,18 @@ func certifyRWS(r, a0, a1, a2 *matrix.Dense, tol certify.Tolerances, ws *matrix.
 		scale = 1
 	}
 	t1, t2, t3 := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
-	matrix.MulTo(t1, r, a1)
-	matrix.AddTo(t1, a0, t1) // a0 + r·a1
+	a1.MulFromLeftTo(t1, r)  // r·a1
+	a0.AddScaledTo(t1, 1)    // a0 + r·a1
 	matrix.MulTo(t2, r, r)   // r²
-	matrix.MulTo(t3, t2, a2) // r²·a2
+	a2.MulFromLeftTo(t3, t2) // r²·a2
 	matrix.AddTo(t1, t1, t3) // (a0 + r·a1) + r²·a2
 	c.Residual = t1.InfNorm() / scale
 	ws.Put(t1, t2, t3)
-	c.SpectralRadius = matrix.SpectralRadiusUpperBoundWS(r, 40, ws)
+	if quickSpectral {
+		c.SpectralRadius = matrix.SpectralRadiusUpperBoundWithinWS(r, 1, 40, ws)
+	} else {
+		c.SpectralRadius = matrix.SpectralRadiusUpperBoundWS(r, 40, ws)
+	}
 	return c
 }
 
@@ -372,44 +442,52 @@ func CertifyR(r, a0, a1, a2 *matrix.Dense, tol certify.Tolerances) *certify.Cert
 	if tol == (certify.Tolerances{}) {
 		tol = certify.DefaultTolerances()
 	}
-	return certifyRWS(r, a0, a1, a2, tol, matrix.NewWorkspace())
+	return certifyRWS(r, matrix.Op(a0), matrix.Op(a1), matrix.Op(a2), tol, matrix.NewWorkspace())
 }
 
-// uniformizeBlocks maps CTMC blocks to DTMC blocks Dk with
+// uniformizeOps maps CTMC blocks to DTMC blocks Dk with
 // D0 = A0/c, D1 = A1/c + I, D2 = A2/c for c ≥ max exit rate (margin
-// controls the inflation above it). The dense blocks come from the
-// workspace; sparse forms are scaled alongside when the caller certified
-// them (Sparse.Scaled drops exact zeros, so the CSR pattern always
-// matches the dense non-zero pattern).
-func uniformizeBlocks(ws *matrix.Workspace, a0, a1, a2 *matrix.Dense, sa0, sa2 *matrix.Sparse, margin float64) (d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse) {
-	n := a1.Rows()
+// controls the inflation above it). D1 is always dense (the +I fill-in
+// makes it so); D0/D2 keep their operator representation — a dense block
+// scales into a workspace matrix, a structured block scales through its
+// own Scaled (Sparse.Scaled drops exact zeros, so a CSR pattern always
+// matches the dense non-zero pattern). release returns the workspace
+// scratch.
+func uniformizeOps(ws *matrix.Workspace, a0, a1, a2 matrix.BlockOp, margin float64) (b0 matrix.BlockOp, d1 *matrix.Dense, b2 matrix.BlockOp, release func()) {
+	n, _ := a1.Dims()
+	a1d := a1.Dense()
 	var c float64
 	for i := 0; i < n; i++ {
-		if r := -a1.At(i, i); r > c {
+		if r := -a1d.At(i, i); r > c {
 			c = r
 		}
 	}
 	c *= margin
-	d0 = matrix.ScaledTo(ws.Get(n, n), 1/c, a0)
-	d1 = matrix.ScaledTo(ws.Get(n, n), 1/c, a1)
+	var scratch []*matrix.Dense
+	scale := func(op matrix.BlockOp) matrix.BlockOp {
+		if db, ok := op.(*matrix.DenseBlock); ok {
+			m := matrix.ScaledTo(ws.Get(n, n), 1/c, db.Dense())
+			scratch = append(scratch, m)
+			return matrix.Op(m)
+		}
+		return op.Scaled(1 / c)
+	}
+	b0 = scale(a0)
+	d1 = matrix.ScaledTo(ws.Get(n, n), 1/c, a1d)
 	for i := 0; i < n; i++ {
 		d1.Add(i, i, 1)
 	}
-	d2 = matrix.ScaledTo(ws.Get(n, n), 1/c, a2)
-	if sa0 != nil {
-		sd0 = sa0.Scaled(1 / c)
-	}
-	if sa2 != nil {
-		sd2 = sa2.Scaled(1 / c)
-	}
-	return d0, d1, d2, sd0, sd2
+	b2 = scale(a2)
+	scratch = append(scratch, d1)
+	release = func() { ws.Put(scratch...) }
+	return b0, d1, b2, release
 }
 
 // logReductionG is the Latouche–Ramaswami iteration: quadratic convergence
 // in the number of levels explored (level 2ᵏ after k steps). It returns a
 // fresh copy of G (first-passage to the level below) plus the iteration
 // count; all interior scratch comes from ws.
-func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+func logReductionG(id *matrix.Dense, b0 matrix.BlockOp, d1 *matrix.Dense, b2 matrix.BlockOp, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	m := matrix.DiffTo(ws.Get(n, n), id, d1)
 	lu := ws.GetLU(n)
@@ -422,16 +500,8 @@ func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *ma
 	lu.InverseTo(base)
 	h := ws.Get(n, n) // up
 	l := ws.Get(n, n) // down
-	if sd0 != nil {
-		matrix.MulCSRTo(h, base, sd0)
-	} else {
-		matrix.MulTo(h, base, d0)
-	}
-	if sd2 != nil {
-		matrix.MulCSRTo(l, base, sd2)
-	} else {
-		matrix.MulTo(l, base, d2)
-	}
+	b0.MulFromLeftTo(h, base)
+	b2.MulFromLeftTo(l, base)
 	g := ws.Get(n, n).CopyFrom(l)
 	t := ws.Get(n, n).CopyFrom(h)
 	hl, lh, u := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
@@ -477,12 +547,12 @@ func logReductionG(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *ma
 
 // logarithmicReductionR computes G by logarithmic reduction and converts it
 // to R = D₀·(I − D₁ − D₀·G)⁻¹.
-func logarithmicReductionR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
-	g, iters, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
+func logarithmicReductionR(id *matrix.Dense, b0 matrix.BlockOp, d1 *matrix.Dense, b2 matrix.BlockOp, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+	g, iters, err := logReductionG(id, b0, d1, b2, ws, opts)
 	if err != nil {
 		return nil, iters, err
 	}
-	r, err := rFromG(id, d0, sd0, d1, g, ws, false)
+	r, err := rFromG(id, b0, d1, g, ws, false)
 	return r, iters, err
 }
 
@@ -490,14 +560,10 @@ func logarithmicReductionR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse
 // singular system is retried once with a small diagonal perturbation
 // ε·‖·‖∞ — the regularized fallback rung's last resort (the resulting R
 // still has to pass residual certification to be accepted).
-func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *matrix.Workspace, regularize bool) (*matrix.Dense, error) {
+func rFromG(id *matrix.Dense, b0 matrix.BlockOp, d1, g *matrix.Dense, ws *matrix.Workspace, regularize bool) (*matrix.Dense, error) {
 	n := d1.Rows()
 	m := ws.Get(n, n) // D₀·G, then D₁ + D₀·G, then I − (D₁ + D₀·G)
-	if sd0 != nil {
-		sd0.MulDenseTo(m, g)
-	} else {
-		matrix.MulTo(m, d0, g)
-	}
+	b0.MulDenseTo(m, g)
 	matrix.AddTo(m, d1, m)
 	matrix.DiffTo(m, id, m)
 	lu := ws.GetLU(n)
@@ -516,12 +582,8 @@ func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *m
 	}
 	inv := ws.Get(n, n)
 	lu.InverseTo(inv)
-	var r *matrix.Dense // freshly allocated: R escapes to the caller
-	if sd0 != nil {
-		r = sd0.MulDense(inv)
-	} else {
-		r = matrix.Mul(d0, inv)
-	}
+	// Freshly allocated: R escapes to the caller.
+	r := b0.MulDenseTo(matrix.New(n, n), inv)
 	ws.Put(m, inv)
 	ws.PutLU(lu)
 	return r, nil
@@ -537,7 +599,7 @@ func rFromG(id, d0 *matrix.Dense, sd0 *matrix.Sparse, d1, g *matrix.Dense, ws *m
 // nothing. The result is certified by the caller like every other rung;
 // a contaminated or divergent warm guess just drops the ladder to the
 // cold rungs.
-func warmIterationR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, init *matrix.Dense, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+func warmIterationR(id *matrix.Dense, b0 matrix.BlockOp, d1 *matrix.Dense, b2 matrix.BlockOp, init *matrix.Dense, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	r := matrix.New(n, n) // freshly allocated: R escapes on success
 	r.CopyFrom(init)
@@ -552,11 +614,7 @@ func warmIterationR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, init 
 			cleanup()
 			return nil, iter, err
 		}
-		if sd2 != nil {
-			matrix.MulCSRTo(u, r, sd2)
-		} else {
-			matrix.MulTo(u, r, d2)
-		}
+		b2.MulFromLeftTo(u, r)
 		matrix.AddTo(u, d1, u)
 		matrix.DiffTo(u, id, u) // I − D₁ − R·D₂
 		if err := lu.Reset(u); err != nil {
@@ -564,11 +622,7 @@ func warmIterationR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, init 
 			return nil, iter, fmt.Errorf("qbd: warm iteration: I − D₁ − R·D₂ singular: %w", err)
 		}
 		lu.InverseTo(inv)
-		if sd0 != nil {
-			sd0.MulDenseTo(next, inv)
-		} else {
-			matrix.MulTo(next, d0, inv)
-		}
+		b0.MulDenseTo(next, inv)
 		diff := matrix.MaxAbsDiff(next, r)
 		if math.IsNaN(diff) {
 			cleanup()
@@ -586,7 +640,7 @@ func warmIterationR(id, d0, d1, d2 *matrix.Dense, sd0, sd2 *matrix.Sparse, init 
 
 // successiveSubstitution iterates R ← (D₀ + R²·D₂)·(I − D₁)⁻¹ from R = 0.
 // Linear convergence; kept as a robust fallback.
-func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+func successiveSubstitution(id *matrix.Dense, b0 matrix.BlockOp, d1 *matrix.Dense, b2 matrix.BlockOp, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	m := matrix.DiffTo(ws.Get(n, n), id, d1)
 	lu := ws.GetLU(n)
@@ -609,12 +663,11 @@ func successiveSubstitution(id, d0, d1, d2 *matrix.Dense, sd2 *matrix.Sparse, ws
 			return nil, iter, err
 		}
 		matrix.MulTo(rr, r, r)
-		if sd2 != nil {
-			matrix.MulCSRTo(s, rr, sd2)
-		} else {
-			matrix.MulTo(s, rr, d2)
-		}
-		matrix.AddTo(s, d0, s)
+		b2.MulFromLeftTo(s, rr)
+		// s = d0 + s, via the operator: s is kernel output (no -0
+		// entries), so skipping d0's zeros and commuting the adds is
+		// bitwise the historical AddTo(s, d0, s).
+		b0.AddScaledTo(s, 1)
 		matrix.MulTo(next, s, inv)
 		diff := matrix.MaxAbsDiff(next, r)
 		r.CopyFrom(next)
@@ -639,25 +692,26 @@ func GMatrix(a0, a1, a2 *matrix.Dense, opts RMatrixOptions) (*matrix.Dense, erro
 	}
 	ws := opts.workspace()
 	id := ws.Get(n, n).SetIdentity()
-	d0, d1, d2, sd0, sd2 := uniformizeBlocks(ws, a0, a1, a2, opts.SparseA0, opts.SparseA2, uniformizeMargin)
-	g, _, err := logReductionG(id, d0, d1, d2, sd0, sd2, ws, opts)
+	b0, d1, b2, release := uniformizeOps(ws, matrix.Op(a0), matrix.Op(a1), matrix.Op(a2), uniformizeMargin)
+	g, _, err := logReductionG(id, b0, d1, b2, ws, opts)
 	if err != nil || !gOK(g) {
 		// Functional iteration G ← D₂ + D₁G + D₀G², monotone from 0 and
 		// robust for transient (substochastic-G) chains where logarithmic
 		// reduction can degenerate or produce NaNs. On a double failure the
 		// joined error reports why each rung died.
 		var err2 error
-		g, _, err2 = functionalIterationG(d0, d1, d2, sd0, ws, opts)
+		g, _, err2 = functionalIterationG(b0, d1, b2, ws, opts)
 		err = errors.Join(err, err2)
 		if err2 == nil {
 			err = nil
 		}
 	}
-	ws.Put(id, d0, d1, d2)
+	ws.Put(id)
+	release()
 	return g, err
 }
 
-func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
+func functionalIterationG(b0 matrix.BlockOp, d1 *matrix.Dense, b2 matrix.BlockOp, ws *matrix.Workspace, opts RMatrixOptions) (*matrix.Dense, int, error) {
 	n := d1.Rows()
 	g := matrix.New(n, n) // freshly allocated: G escapes on success
 	s, gg, q, next := ws.Get(n, n), ws.Get(n, n), ws.Get(n, n), ws.Get(n, n)
@@ -668,13 +722,11 @@ func functionalIterationG(d0, d1, d2 *matrix.Dense, sd0 *matrix.Sparse, ws *matr
 			return nil, iter, err
 		}
 		matrix.MulTo(s, d1, g)
-		matrix.AddTo(s, d2, s)
+		// s = d2 + s: kernel output carries no -0, so the operator's
+		// zero-skipping commuted add is bitwise the historical AddTo.
+		b2.AddScaledTo(s, 1)
 		matrix.MulTo(gg, g, g)
-		if sd0 != nil {
-			sd0.MulDenseTo(q, gg)
-		} else {
-			matrix.MulTo(q, d0, gg)
-		}
+		b0.MulDenseTo(q, gg)
 		matrix.AddTo(next, s, q)
 		diff := matrix.MaxAbsDiff(next, g)
 		g.CopyFrom(next)

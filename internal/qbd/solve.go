@@ -46,14 +46,6 @@ func Solve(p *Process, opts RMatrixOptions) (*Solution, error) {
 	if !stable {
 		return nil, ErrUnstable
 	}
-	// Activate the CSR fast path for blocks the builder certified sparse,
-	// unless the caller supplied its own forms.
-	if opts.SparseA0 == nil {
-		opts.SparseA0 = p.SparseA0
-	}
-	if opts.SparseA2 == nil {
-		opts.SparseA2 = p.SparseA2
-	}
 	opts = opts.withDefaults()
 	ws := opts.workspace()
 	opts.Workspace = ws
@@ -68,7 +60,7 @@ func Solve(p *Process, opts RMatrixOptions) (*Solution, error) {
 	if cert.SpectralRadius >= 1 {
 		return nil, ErrUnstable
 	}
-	sol, err := solveBoundary(p, r, opts.SparseA2, ws)
+	sol, err := solveBoundary(p, r, ws)
 	if err != nil {
 		return nil, &certify.Failure{Kind: certify.ErrSingularBoundary, Stage: "qbd.boundary", Err: err}
 	}
@@ -115,10 +107,10 @@ func completeCertificate(cert *certify.Certificate, p *Process, sol *Solution) {
 // roundoff level; a contaminated or mass-losing one does not.
 func boundaryResidual(p *Process, sol *Solution) float64 {
 	b := p.Boundary()
-	local := matrix.VecMul(sol.PiB, p.A1)
+	local := matrix.VecMul(sol.PiB, p.A1.Dense())
 	prev := sol.Boundary[b-1] // π_{b−1}: last boundary vector (b ≥ 1 by construction)
 	up := matrix.VecMul(prev, p.Up[b-1])
-	down := matrix.VecMul(sol.repeatLevel(1), p.A2)
+	down := matrix.VecMul(sol.repeatLevel(1), p.A2.Dense())
 	scale := p.A1.InfNorm()
 	if scale == 0 {
 		scale = 1
@@ -136,7 +128,7 @@ func boundaryResidual(p *Process, sol *Solution) float64 {
 // and (24)–(27): global balance for levels 0..b with π_{b+1} = π_b·R
 // substituted, plus the normalization constraint replacing one redundant
 // balance equation.
-func solveBoundary(p *Process, r *matrix.Dense, sa2 *matrix.Sparse, ws *matrix.Workspace) (*Solution, error) {
+func solveBoundary(p *Process, r *matrix.Dense, ws *matrix.Workspace) (*Solution, error) {
 	b := p.Boundary()
 	n := p.RepeatDim()
 	dims := make([]int, b+1)
@@ -173,12 +165,8 @@ func solveBoundary(p *Process, r *matrix.Dense, sa2 *matrix.Sparse, ws *matrix.W
 	// level b+1: π_{b+1}·A₂ = π_b·R·A₂.
 	embedAt(m, offs[b-1], offs[b], p.Up[b-1])
 	ra2 := ws.Get(n, n)
-	if sa2 != nil {
-		matrix.MulCSRTo(ra2, r, sa2)
-	} else {
-		matrix.MulTo(ra2, r, p.A2)
-	}
-	matrix.AddTo(ra2, p.A1, ra2)
+	p.A2.MulFromLeftTo(ra2, r) // R·A₂, through whatever representation A₂ has
+	matrix.AddTo(ra2, p.A1.Dense(), ra2)
 	embedAt(m, offs[b], offs[b], ra2)
 	ws.Put(ra2)
 

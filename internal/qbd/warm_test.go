@@ -103,13 +103,13 @@ func TestSolveWarmStartShapeMismatchIgnored(t *testing.T) {
 // uncertified RMatrix entry point never uses the warm iterate.
 func TestRMatrixIgnoresInitialR(t *testing.T) {
 	p := mErlang2_1(0.5, 1)
-	rCold, err := RMatrix(p.A0, p.A1, p.A2, RMatrixOptions{})
+	rCold, err := RMatrixOp(p.A0, p.A1, p.A2, RMatrixOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	garbage := matrix.New(2, 2)
 	garbage.Set(0, 0, math.Inf(1))
-	rWarm, err := RMatrix(p.A0, p.A1, p.A2, RMatrixOptions{InitialR: garbage})
+	rWarm, err := RMatrixOp(p.A0, p.A1, p.A2, RMatrixOptions{InitialR: garbage})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -28,6 +28,17 @@ type metrics struct {
 	coalesced atomic.Int64
 	shed      atomic.Int64
 
+	// trialSolves counts solves actually executed on a shard session —
+	// cache hits and coalesced followers never reach a shard, so this is
+	// the "analytic work happened" counter (the serving-side successor of
+	// the old process-global core.SolveCalls).
+	trialSolves atomic.Int64
+	// rungs counts certified ladder-rung outcomes across all served
+	// solves, keyed "rung|outcome" from the certificates' Path entries
+	// ("warm: uncertified", "newton: ok", "logreduction: ok", ...).
+	rungMu sync.Mutex
+	rungs  map[string]*atomic.Int64
+
 	panicsHandler   atomic.Int64
 	panicsShard     atomic.Int64
 	breakerRejected atomic.Int64
@@ -42,6 +53,7 @@ type metrics struct {
 func newMetrics() *metrics {
 	return &metrics{
 		requests:     make(map[string]*atomic.Int64),
+		rungs:        make(map[string]*atomic.Int64),
 		breakerTrans: make(map[string]*atomic.Int64),
 		solveLatency: newHistogram(),
 		sweepLatency: newHistogram(),
@@ -70,6 +82,36 @@ func (m *metrics) breakerTransition(shardID, from, to int) {
 	}
 	m.brkMu.Unlock()
 	c.Add(1)
+}
+
+// solveDone records one solve executed on a shard: the trial-solve
+// counter and, from each class certificate's fallback-ladder Path, one
+// outcome count per rung attempted. The Path entries are "rung: outcome"
+// strings written by the QBD ladder, so the metric needs no new plumbing
+// through the solver — it is a projection of data every answer already
+// carries.
+func (m *metrics) solveDone(resp *SolveResponse) {
+	m.trialSolves.Add(1)
+	for _, ca := range resp.Classes {
+		if ca.Certificate == nil {
+			continue
+		}
+		for _, entry := range ca.Certificate.Path {
+			rung, outcome, ok := strings.Cut(entry, ": ")
+			if !ok {
+				continue
+			}
+			k := rung + "|" + outcome
+			m.rungMu.Lock()
+			c, have := m.rungs[k]
+			if !have {
+				c = new(atomic.Int64)
+				m.rungs[k] = c
+			}
+			m.rungMu.Unlock()
+			c.Add(1)
+		}
+	}
 }
 
 // request records one finished request: its status counter and, for the
@@ -179,6 +221,28 @@ func (m *metrics) write(w io.Writer, pipeline core.Counters, memoLen, diskLen in
 	fmt.Fprintf(w, "gangserved_cache_recovery{event=\"quarantined\"} %d\n", rec.Quarantined)
 	fmt.Fprintf(w, "gangserved_cache_recovery{event=\"torn_bytes\"} %d\n", rec.TornBytes)
 	fmt.Fprintf(w, "gangserved_cache_recovery{event=\"legacy\"} %d\n", rec.Legacy)
+
+	fmt.Fprintf(w, "# HELP gangserved_trial_solves_total Solves executed on a shard session (cache hits and coalesced followers excluded).\n")
+	fmt.Fprintf(w, "# TYPE gangserved_trial_solves_total counter\n")
+	fmt.Fprintf(w, "gangserved_trial_solves_total %d\n", m.trialSolves.Load())
+
+	fmt.Fprintf(w, "# HELP gangserved_ladder_rung_total Certified fallback-ladder rung outcomes across served solves, from certificate paths.\n")
+	fmt.Fprintf(w, "# TYPE gangserved_ladder_rung_total counter\n")
+	m.rungMu.Lock()
+	rkeys := make([]string, 0, len(m.rungs))
+	for k := range m.rungs {
+		rkeys = append(rkeys, k)
+	}
+	sort.Strings(rkeys)
+	rcounts := make([]int64, len(rkeys))
+	for i, k := range rkeys {
+		rcounts[i] = m.rungs[k].Load()
+	}
+	m.rungMu.Unlock()
+	for i, k := range rkeys {
+		rung, outcome, _ := strings.Cut(k, "|")
+		fmt.Fprintf(w, "gangserved_ladder_rung_total{rung=%q,outcome=%q} %d\n", rung, outcome, rcounts[i])
+	}
 
 	fmt.Fprintf(w, "# HELP gangserved_pipeline_total Solver-pipeline counters summed over all shard sessions.\n")
 	fmt.Fprintf(w, "# TYPE gangserved_pipeline_total counter\n")

@@ -158,6 +158,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	p.onPanic = func() { met.panic("shard") }
 	p.onBreakerReject = func() { met.breakerRejected.Add(1) }
+	p.onSolved = met.solveDone
 	s := &Server{
 		cfg:     cfg,
 		pool:    p,

@@ -16,7 +16,6 @@ import (
 
 	"repro/internal/certify"
 	"repro/internal/certify/faultinject"
-	"repro/internal/core"
 	"repro/internal/qbd"
 	"repro/internal/sweep"
 )
@@ -131,7 +130,7 @@ func TestCoalesce(t *testing.T) {
 	const n = 6
 	req := SolveRequest{Scenario: testScenario(0.45)}
 	key := req.trial().Key()
-	before := core.SolveCalls()
+	before := s.met.trialSolves.Load()
 
 	codes := make(chan int, n)
 	coalesced := make(chan bool, n)
@@ -163,8 +162,8 @@ func TestCoalesce(t *testing.T) {
 	if joined != n-1 {
 		t.Fatalf("%d coalesced responses, want %d", joined, n-1)
 	}
-	if got := core.SolveCalls() - before; got != 1 {
-		t.Fatalf("%d solver calls for %d identical concurrent requests, want 1", got, n)
+	if got := s.met.trialSolves.Load() - before; got != 1 {
+		t.Fatalf("%d shard solves for %d identical concurrent requests, want 1", got, n)
 	}
 	if got := s.met.coalesced.Load(); got != n-1 {
 		t.Fatalf("coalesced metric %d, want %d", got, n-1)
@@ -200,12 +199,12 @@ func TestWarmShardRouting(t *testing.T) {
 }
 
 func TestMemoCacheHit(t *testing.T) {
-	_, hs := newTestServer(t, Config{})
+	s, hs := newTestServer(t, Config{})
 	req := SolveRequest{Scenario: testScenario(0.5)}
 	if code, _ := solve(t, hs, req); code != http.StatusOK {
 		t.Fatalf("priming solve failed")
 	}
-	before := core.SolveCalls()
+	before := s.met.trialSolves.Load()
 	code, resp := solve(t, hs, req)
 	if code != http.StatusOK || !resp.Cached || resp.CacheTier != "memo" {
 		t.Fatalf("want memo hit, got code %d resp %+v", code, resp)
@@ -213,8 +212,8 @@ func TestMemoCacheHit(t *testing.T) {
 	if resp.Classes[0].Certificate == nil {
 		t.Fatal("memo hit lost the certificate")
 	}
-	if got := core.SolveCalls() - before; got != 0 {
-		t.Fatalf("cache hit made %d solver calls", got)
+	if got := s.met.trialSolves.Load() - before; got != 0 {
+		t.Fatalf("cache hit made %d shard solves", got)
 	}
 }
 
@@ -237,8 +236,8 @@ func TestDiskCacheSharedWithSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	_, hs := newTestServer(t, Config{CacheDir: dir})
-	before := core.SolveCalls()
+	s, hs := newTestServer(t, Config{CacheDir: dir})
+	before := s.met.trialSolves.Load()
 	code, resp := solve(t, hs, SolveRequest{Scenario: testScenario(0.55)})
 	if code != http.StatusOK || !resp.Cached || resp.CacheTier != "disk" {
 		t.Fatalf("want disk hit, got code %d resp %+v", code, resp)
@@ -246,8 +245,8 @@ func TestDiskCacheSharedWithSweep(t *testing.T) {
 	if !resp.Classes[0].Stable || resp.Classes[0].N <= 0 {
 		t.Fatalf("rehydrated answer: %+v", resp.Classes[0])
 	}
-	if got := core.SolveCalls() - before; got != 0 {
-		t.Fatalf("disk hit made %d solver calls", got)
+	if got := s.met.trialSolves.Load() - before; got != 0 {
+		t.Fatalf("disk hit made %d shard solves", got)
 	}
 }
 

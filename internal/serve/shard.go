@@ -91,11 +91,13 @@ type pool struct {
 	retireMu sync.Mutex
 	retired  core.Counters
 
-	// onPanic and onBreakerReject (when set, before traffic starts)
-	// observe each contained shard panic and each breaker-rejected
-	// dispatch — the metrics hooks.
+	// onPanic, onBreakerReject and onSolved (when set, before traffic
+	// starts) observe each contained shard panic, each breaker-rejected
+	// dispatch, and each successfully executed shard solve — the metrics
+	// hooks.
 	onPanic         func()
 	onBreakerReject func()
+	onSolved        func(*SolveResponse)
 }
 
 // newPool starts n shard workers. warm=false runs every solve cold
@@ -154,6 +156,9 @@ func runTask(p *pool, sh *shard, tk *task) taskResult {
 	resp, err := solveShielded(p, sh, tk)
 	if resp != nil {
 		resp.Shard = sh.id
+		if p.onSolved != nil {
+			p.onSolved(resp)
+		}
 	}
 	panicked := errors.Is(err, errShardPanic)
 	if panicked {

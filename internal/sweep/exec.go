@@ -39,6 +39,11 @@ type ExecPolicy struct {
 	// serial path. Execution-level only — it never enters Trial hashing
 	// or artifacts, because it cannot change a result bit.
 	SolveParallel int
+	// Newton enables the Newton-class rung in the analytic R-matrix
+	// ladder (qbd.RMatrixOptions.Newton). Certified, but may differ from
+	// the classical reduction within tolerance, so the runner never caches
+	// Newton results (Options.Newton documents the policy).
+	Newton bool
 	// Ctx, when non-nil, threads into the analytic solver's iteration
 	// loops (qbd.RMatrixOptions.Ctx) so a canceled run interrupts a trial
 	// mid-R-iteration instead of finishing a doomed solve. Execution-level
@@ -82,6 +87,7 @@ var execute = func(t Trial, pol ExecPolicy, ses *core.Session) (execOutcome, err
 			copts.Parallel = pol.SolveParallel
 		}
 		copts.RMatrix.Ctx = pol.Ctx
+		copts.RMatrix.Newton = pol.Newton
 		var res *core.Result
 		var serr error
 		switch {

@@ -69,6 +69,14 @@ type Options struct {
 	// against cold runs. Off by default: cold runs are byte-identical to
 	// previous releases.
 	WarmStart bool
+	// Newton enables the Newton-class cyclic-reduction rung in each
+	// analytic trial's R-matrix ladder (qbd.RMatrixOptions.Newton), which
+	// pays off on large repeating blocks. Newton solutions are certified
+	// like every rung but may differ from the classical reduction within
+	// the certification tolerance, so — like warm results — they are never
+	// written to the cache; the cache stays a store of default-ladder
+	// values that any run mode can safely read.
+	Newton bool
 }
 
 func (o Options) withDefaults() Options {
@@ -339,6 +347,7 @@ func runOne(ctx context.Context, t Trial, index int, opts Options, ses *core.Ses
 			AllowDegraded: opts.AllowDegraded,
 			FinalAttempt:  attempt > opts.MaxRetries,
 			SolveParallel: opts.SolveParallel,
+			Newton:        opts.Newton,
 			Ctx:           ctx,
 		}
 		out, err := attemptTrial(t, pol, ses)
@@ -381,7 +390,7 @@ func runOne(ctx context.Context, t Trial, index int, opts Options, ses *core.Ses
 			return r
 		}
 		r.Status = StatusOK
-		if opts.Cache != nil && ses == nil {
+		if opts.Cache != nil && ses == nil && !opts.Newton {
 			if cerr := opts.Cache.Put(r.Key, out.values); cerr != nil {
 				r.Err = cerr.Error() // persisted result lost, values intact
 			}

@@ -23,6 +23,12 @@
 #     and higher: time@1cpu / time@Ncpu per variant (1.0 = flat).
 #   - rmatrix_medium_* compare the live kernel against the vendored
 #     pre-change kernel (BenchmarkRMatrixPre) on the medium block order.
+#   - newton_vs_logreduction compares the classical logarithmic-
+#     reduction ladder against the Newton cyclic-reduction rung at
+#     matched block orders (>1.0 = Newton faster): the `large` row pairs
+#     RMatrix/large with RMatrixNewton/large from the kernel tier, and
+#     each RMatrixHuge/<tier>/{logreduction,newton} pair from the huge
+#     tier contributes a row keyed by its tier name.
 
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
@@ -150,6 +156,36 @@ END {
     prea = top["RMatrixPre/medium", "allocs_per_op"]
     if (livea > 0 && prea > 0)
         printf ",\n  \"rmatrix_medium_alloc_ratio_vs_pre\": %.1f", prea / livea
+    # Newton rung vs the classical logarithmic reduction at matched
+    # block orders (>1.0 = the Newton rung is faster).
+    nvl = 0
+    lglarge = top["RMatrix/large", "ns_per_op"]
+    ntlarge = top["RMatrixNewton/large", "ns_per_op"]
+    if (lglarge > 0 && ntlarge > 0) {
+        nvlk[++nvl] = "large"
+        nvlv[nvl] = lglarge / ntlarge
+    }
+    hugeany = 0
+    for (i = 1; i <= n; i++) {
+        base = basename[order[i]]
+        if (base !~ /^RMatrixHuge\/.*\/logreduction$/) continue
+        hugeany = 1
+        tier = base
+        sub(/^RMatrixHuge\//, "", tier)
+        sub(/\/logreduction$/, "", tier)
+        nb = "RMatrixHuge/" tier "/newton"
+        if (top[base, "ns_per_op"] > 0 && top[nb, "ns_per_op"] > 0 && !(tier in nvlseen)) {
+            nvlseen[tier] = 1
+            nvlk[++nvl] = tier
+            nvlv[nvl] = top[base, "ns_per_op"] / top[nb, "ns_per_op"]
+        }
+    }
+    if (nvl > 0) {
+        printf ",\n  \"newton_vs_logreduction\": {"
+        for (s = 1; s <= nvl; s++)
+            printf "%s\"%s\": %.2f", (s > 1 ? ", " : ""), nvlk[s], nvlv[s]
+        printf "}"
+    }
     cold = top["PipelineCold", "ns_per_op"]
     warmp = top["PipelineWarm", "ns_per_op"]
     if (cold > 0 && warmp > 0)
@@ -184,8 +220,10 @@ END {
     }
     else if (serial > 0)
         printf ",\n  \"note\": \"64-trial analytic grid; parallel speedup (emitted only on multi-core runs) tracks the recording machine's core count, warm-cache speedup is the content-addressed cache fast path with zero solver calls\""
+    else if (hugeany)
+        printf ",\n  \"note\": \"production-scale tier: repeating blocks of order ~1000-2000 built from structured operators (Kronecker arrivals/completions over a dense phase-churn A1), each solved by the classical logarithmic reduction and by the Newton cyclic-reduction rung; one iteration per variant, newton_vs_logreduction is the per-tier wall-time ratio (>1.0 = Newton faster)\""
     else if (live > 0)
-        printf ",\n  \"note\": \"kernel baselines: RMatrix* solve the logarithmic-reduction R on small/medium/large block orders (Pre = vendored pre-change allocating kernel), ConvolveAll builds the Theorem 4.1 intervisit chain, SolveFixedPoint runs the Theorem 4.3 fixed point end to end\""
+        printf ",\n  \"note\": \"kernel baselines: RMatrix* solve the logarithmic-reduction R on small/medium/large block orders (Pre = vendored pre-change allocating kernel; RMatrixNewton/large re-solves the large tier with the Newton cyclic-reduction rung, compared in newton_vs_logreduction), ConvolveAll builds the Theorem 4.1 intervisit chain, SolveFixedPoint runs the Theorem 4.3 fixed point end to end\""
     else if (cold > 0)
         printf ",\n  \"note\": \"64-trial analytic grid on one worker: Cold runs the staged pipeline with the cold R ladder every solve, Warm reorders trials for locality and continues each class R from the previous iterate (certified post-hoc); Riters_per_solve is the mean R-matrix iteration count per QBD solve\""
     else if (scold > 0)
